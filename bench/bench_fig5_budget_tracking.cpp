@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 5: normalized average power draw over time for MEM3 under
+ * budgets of 40%, 60% and 80%. The paper's claims: violations are
+ * corrected within ~2 epochs (10 ms), and at B = 80% the MEM workload
+ * cannot consume the budget even at maximum frequencies.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace fastcap;
+
+int
+main()
+{
+    benchutil::banner("bench_fig5_budget_tracking",
+                      "Figure 5 (power vs time per budget)",
+                      "16 cores, MEM3, FastCap, budgets 40/60/80%");
+
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+
+    CsvWriter csv;
+    csv.header({"budget", "epoch", "power_fraction"});
+
+    AsciiTable table({"budget", "avg/peak", "max epoch/peak",
+                      "worst overshoot", "longest violation (epochs)"});
+
+    for (double budget : {0.4, 0.5, 0.6, 0.8}) {
+        const ExperimentResult res = runWorkload(
+            "MEM3", "FastCap", benchutil::expConfig(budget, 100e6),
+            scfg);
+
+        int streak = 0;
+        int worst_streak = 0;
+        double worst_over = 0.0;
+        for (const EpochRecord &e : res.epochs) {
+            csv.rowNumeric({budget, static_cast<double>(e.epoch),
+                            e.totalPower / res.peakPower});
+            if (e.totalPower > e.budget * 1.01) {
+                ++streak;
+                worst_streak = std::max(worst_streak, streak);
+                worst_over = std::max(
+                    worst_over, (e.totalPower - e.budget) / e.budget);
+            } else {
+                streak = 0;
+            }
+        }
+        table.addRowNumeric(
+            AsciiTable::num(budget, 2),
+            {res.averagePowerFraction(), res.maxEpochPowerFraction(),
+             worst_over, static_cast<double>(worst_streak)});
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nExpected shape: 50%% and 60%% tracked tightly with "
+                "violations lasting at most ~2 epochs; 80%% "
+                "undershoots (MEM3 cannot draw 80%% of peak even "
+                "uncapped). The paper's 40%% case sits below this "
+                "platform's floor power (~45%% of peak: static power "
+                "plus minimum frequencies), so it saturates at the "
+                "floor — see EXPERIMENTS.md.\n");
+    return 0;
+}

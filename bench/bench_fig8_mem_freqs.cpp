@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8: memory frequencies (MHz) selected by FastCap over time
+ * when running ILP1, MEM1 and MIX4 under an 80% budget. The paper's
+ * claims: ILP1 drives the memory to the bottom of the ladder, MEM1
+ * keeps it near the top, MIX4 sits in between.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+double
+trace(const char *workload, CsvWriter &csv, const SimConfig &scfg)
+{
+    const ExperimentResult res = runWorkload(
+        workload, "FastCap", benchutil::expConfig(0.8, 100e6), scfg);
+    double acc = 0.0;
+    for (const EpochRecord &e : res.epochs) {
+        const Hertz f = scfg.memLadder.at(e.memFreqIdx);
+        csv.row({workload, std::to_string(e.epoch),
+                 std::to_string(toMHz(f))});
+        acc += toMHz(f);
+    }
+    return acc / static_cast<double>(res.epochs.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::banner("bench_fig8_mem_freqs",
+                      "Figure 8 (memory frequency traces)",
+                      "16 cores, FastCap, budget = 80%; ILP1, MEM1, "
+                      "MIX4");
+
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    CsvWriter csv;
+    csv.header({"workload", "epoch", "mem_freq_mhz"});
+
+    const double m_ilp = trace("ILP1", csv, scfg);
+    const double m_mem = trace("MEM1", csv, scfg);
+    const double m_mix = trace("MIX4", csv, scfg);
+
+    std::printf("\nmean memory frequency: ILP1 %.0f MHz, MEM1 %.0f "
+                "MHz, MIX4 %.0f MHz\n", m_ilp, m_mem, m_mix);
+    std::printf("Expected shape: ILP1 lowest, MEM1 highest, MIX4 in "
+                "between.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic PolicyInputs generator for the solver microbenchmarks
+ * (Table I and the overhead study): N heterogeneous cores with
+ * paper-like ladders, no simulator in the loop.
+ */
+
+#ifndef FASTCAP_BENCH_BENCH_INPUTS_HPP
+#define FASTCAP_BENCH_BENCH_INPUTS_HPP
+
+#include <cstddef>
+
+#include "core/inputs.hpp"
+#include "util/rng.hpp"
+
+namespace fastcap {
+namespace benchutil {
+
+/**
+ * Build heterogeneous inputs for `n` cores with `m` memory levels and
+ * `f` core levels: a mix of compute-, balanced and memory-bound
+ * cores, deterministic per seed.
+ */
+inline PolicyInputs
+syntheticInputs(std::size_t n, std::size_t m = 10, std::size_t f = 10,
+                std::uint64_t seed = 42)
+{
+    Rng rng(seed);
+    PolicyInputs in;
+    in.cores.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        CoreModel &c = in.cores[i];
+        // Cycle through application archetypes.
+        switch (i % 4) {
+          case 0: c.zbar = rng.uniform(500e-9, 800e-9); break;
+          case 1: c.zbar = rng.uniform(250e-9, 500e-9); break;
+          case 2: c.zbar = rng.uniform(80e-9, 200e-9); break;
+          default: c.zbar = rng.uniform(15e-9, 40e-9); break;
+        }
+        c.cache = 7.5e-9;
+        c.pi = rng.uniform(1.2, 3.5);
+        c.alpha = rng.uniform(2.3, 3.1);
+        c.pStatic = 1.0;
+        c.ipa = rng.uniform(100.0, 2500.0);
+        c.measuredPower = c.pi * 0.8 + c.pStatic;
+        c.measuredIps = c.ipa / (c.zbar + 60e-9);
+    }
+
+    ControllerModel ctl;
+    ctl.q = 1.4;
+    ctl.u = 1.8;
+    ctl.sm = 33e-9;
+    ctl.sbBar = 1.875e-9;
+    in.memory.controllers = {ctl};
+    in.memory.pm = 8.0 + 0.25 * static_cast<double>(n);
+    in.memory.beta = 1.1;
+    in.memory.pStatic = 12.0;
+    in.memory.measuredPower = in.memory.pm * 0.8 + 12.0;
+
+    in.accessProbs.assign(n, {1.0});
+    for (std::size_t i = 0; i < f; ++i)
+        in.coreRatios.push_back(
+            0.55 + 0.45 * static_cast<double>(i) /
+                static_cast<double>(f - 1));
+    for (std::size_t i = 0; i < m; ++i)
+        in.memRatios.push_back(
+            0.2575 + 0.7425 * static_cast<double>(i) /
+                static_cast<double>(m - 1));
+    in.background = 10.0;
+
+    // 60% of the all-max model power.
+    double max_power = in.staticPower() + in.memory.pm;
+    for (const CoreModel &c : in.cores)
+        max_power += c.pi;
+    in.budget = 0.6 * max_power;
+    return in;
+}
+
+} // namespace benchutil
+} // namespace fastcap
+
+#endif // FASTCAP_BENCH_BENCH_INPUTS_HPP

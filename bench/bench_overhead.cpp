@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Section IV-B, "Epoch length and algorithm overhead": the FastCap
+ * algorithm's per-invocation wall time at 16/32/64 cores. The paper
+ * measured 33.5 us / 64.9 us / 133.5 us (0.7% / 1.3% / 2.7% of a 5 ms
+ * epoch) on their machine; absolute numbers differ on other hosts,
+ * but the ~linear growth in N and the small fraction of the epoch
+ * must hold.
+ *
+ * Also covers the full governor path (counter conversion + model
+ * fitting + solve) as used once per epoch.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "util/logging.hpp"
+
+#include "bench_inputs.hpp"
+#include "core/fastcap_policy.hpp"
+#include "core/model_fitter.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+void
+BM_EpochDecision(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    FastCapPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    // Compare the reported time/iteration against the 5 ms epoch to
+    // obtain the paper's overhead percentage (0.7% / 1.3% / 2.7%).
+}
+BENCHMARK(BM_EpochDecision)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ModelRefit(benchmark::State &state)
+{
+    // The per-epoch Eq. 2/3 refit cost for N cores.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    ModelFitter fitter(n);
+    double x = 1.0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            fitter.observeCore(i, x, 3.0 * x * x * x + 0.01);
+        fitter.observeMemory(x, 12.0 * x);
+        benchmark::DoNotOptimize(fitter.core(n - 1));
+        x = (x == 1.0) ? 0.775 : (x == 0.775 ? 0.55 : 1.0);
+    }
+}
+BENCHMARK(BM_ModelRefit)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Floor-power warnings fire per solve in tight synthetic cases;
+    // they are expected here and would swamp the benchmark output.
+    fastcap::Logger::global().level(fastcap::LogLevel::Silent);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Table I: time-complexity comparison of the capping algorithms.
+ *
+ *   Exhaustive (MaxBIPS, [14])    ~ O(F^N)        — only tiny N
+ *   Heuristics (Eql-Freq-like)    ~ O(F N log N)  — here O(F M N)
+ *   FastCap                       O(N log M)
+ *
+ * The benchmark times each policy's per-epoch decision on synthetic
+ * inputs as N grows. The paper's claim: FastCap scales linearly with
+ * the number of cores while the alternatives blow up (MaxBIPS is
+ * exponential and infeasible past a handful of cores).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "util/logging.hpp"
+
+#include "bench_inputs.hpp"
+#include "core/fastcap_policy.hpp"
+#include "core/solver.hpp"
+#include "policies/eql_freq.hpp"
+#include "policies/eql_pwr.hpp"
+#include "policies/max_bips.hpp"
+#include "policies/steepest_drop.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+void
+BM_FastCapSolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    FastCapPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FastCapSolve)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void
+BM_FastCapSolve_MemLevels(benchmark::State &state)
+{
+    // O(log M) in the memory-ladder size at fixed N = 16.
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(16, m);
+    FastCapPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FastCapSolve_MemLevels)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oLogN);
+
+void
+BM_EqlPwr(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    EqlPwrPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EqlPwr)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+void
+BM_EqlFreq(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    EqlFreqPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EqlFreq)->RangeMultiplier(2)->Range(4, 512)->Complexity();
+
+void
+BM_SteepestDrop(benchmark::State &state)
+{
+    // The Table I heuristic family (measured ~N^2 here; see
+    // steepest_drop.hpp).
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    SteepestDropPolicy policy;
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SteepestDrop)->RangeMultiplier(2)->Range(4, 512)
+    ->Complexity();
+
+void
+BM_MaxBips_Exponential(benchmark::State &state)
+{
+    // F^N * M model evaluations: 2 cores ~ 10^3, 4 cores ~ 10^5,
+    // 6 cores ~ 10^7 — the wall Table I describes.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    MaxBipsPolicy policy(8);
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+}
+BENCHMARK(BM_MaxBips_Exponential)->DenseRange(2, 6, 2)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Floor-power warnings fire per solve in tight synthetic cases;
+    // they are expected here and would swamp the benchmark output.
+    fastcap::Logger::global().level(fastcap::LogLevel::Silent);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches. Each
+ * bench prints (a) a banner naming the paper artifact it regenerates,
+ * (b) a human-readable table, and (c) CSV rows for external plotting.
+ */
+
+#ifndef FASTCAP_BENCH_COMMON_HPP
+#define FASTCAP_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace benchutil {
+
+/** Standard experiment knobs for figure benches. */
+inline ExperimentConfig
+expConfig(double budget, double target_instructions)
+{
+    ExperimentConfig cfg;
+    cfg.budgetFraction = budget;
+    cfg.targetInstructions = target_instructions;
+    cfg.maxEpochs = 2000;
+    return cfg;
+}
+
+/** Banner tying the output to the paper artifact. */
+inline void
+banner(const char *bench, const char *artifact, const char *setup)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — reproduces %s\n", bench, artifact);
+    std::printf("%s\n", setup);
+    std::printf("==============================================================\n");
+}
+
+/** Run one workload under a policy and under the uncapped baseline,
+ *  returning the normalized-performance comparison. */
+inline PerfComparison
+compareToBaseline(const std::string &workload,
+                  const std::string &policy, double budget,
+                  double instr, const SimConfig &scfg)
+{
+    const ExperimentConfig cfg = expConfig(budget, instr);
+    const ExperimentResult capped =
+        runWorkload(workload, policy, cfg, scfg);
+    const ExperimentResult base =
+        runWorkload(workload, "Uncapped", cfg, scfg);
+    return comparePerformance(capped, base);
+}
+
+/** Merge the four workloads of a class into one comparison. */
+inline PerfComparison
+classComparison(const std::string &cls, const std::string &policy,
+                double budget, double instr, const SimConfig &scfg)
+{
+    std::vector<PerfComparison> parts;
+    for (const std::string &wl : workloads::workloadsOfClass(cls))
+        parts.push_back(
+            compareToBaseline(wl, policy, budget, instr, scfg));
+    return mergeComparisons(parts);
+}
+
+/** The four class names in Table III order. */
+inline std::vector<std::string>
+classNames()
+{
+    return {"ILP", "MID", "MEM", "MIX"};
+}
+
+} // namespace benchutil
+} // namespace fastcap
+
+#endif // FASTCAP_BENCH_COMMON_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Robustness demo (Section IV-B): FastCap on out-of-order cores and
+ * on a system with four memory controllers under a highly skewed
+ * access distribution. Capping accuracy and fairness must survive
+ * both.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "util/table.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+void
+report(const char *label, const SimConfig &machine)
+{
+    ExperimentConfig knobs;
+    knobs.budgetFraction = 0.6;
+    knobs.targetInstructions = 20e6;
+
+    const ExperimentResult capped =
+        runWorkload("MEM2", "FastCap", knobs, machine);
+    const ExperimentResult base =
+        runWorkload("MEM2", "Uncapped", knobs, machine);
+    const PerfComparison cmp = comparePerformance(capped, base);
+
+    std::printf("%-28s power %.3f of peak | norm CPI avg %.3f "
+                "worst %.3f (ratio %.3f)\n",
+                label, capped.averagePowerFraction(), cmp.average,
+                cmp.worst, cmp.unfairness);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("MEM2 workload, budget = 60%%. All rows must cap at "
+                "~0.6 with worst ~ avg.\n\n");
+
+    report("in-order, 1 controller", SimConfig::defaultConfig(16));
+
+    SimConfig ooo = SimConfig::defaultConfig(16);
+    ooo.execMode = ExecMode::OutOfOrder;
+    report("out-of-order (128-entry)", ooo);
+
+    SimConfig mc4 = SimConfig::defaultConfig(16);
+    mc4.numControllers = 4;
+    mc4.banksPerController = 8;
+    mc4.busBurstCycles = 6.0; // one DDR3 channel per controller
+    report("4 controllers, uniform", mc4);
+
+    mc4.interleave = InterleaveMode::Skewed;
+    mc4.skewHotFraction = 0.7;
+    report("4 controllers, 70% skew", mc4);
+
+    std::printf("\nThe skewed case exercises the weighted response-"
+                "time model of Section IV-B: different cores see "
+                "different controllers, yet degradation stays even.\n");
+    return 0;
+}

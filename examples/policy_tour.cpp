@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Policy tour: run the same workload under every capping policy in
+ * the registry and compare power, performance and fairness — a
+ * one-binary summary of the paper's Section IV comparisons.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "policies/registry.hpp"
+#include "util/table.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+int
+main()
+{
+    // 8 cores: big enough for heterogeneity, small enough that this
+    // example finishes instantly. (MaxBIPS is exponential in cores,
+    // so it runs on a 4-core variant below.)
+    const SimConfig machine = SimConfig::defaultConfig(8);
+    ExperimentConfig knobs;
+    knobs.budgetFraction = 0.6;
+    knobs.targetInstructions = 30e6;
+
+    const ExperimentResult baseline =
+        runWorkload("MIX4", "Uncapped", knobs, machine);
+
+    AsciiTable table({"policy", "power/peak", "avg norm CPI",
+                      "worst norm CPI", "worst/avg (fairness)"});
+
+    for (const char *name :
+         {"FastCap", "CPU-only", "Freq-Par", "Eql-Pwr", "Eql-Freq",
+          "Steepest-Drop"}) {
+        const ExperimentResult res =
+            runWorkload("MIX4", name, knobs, machine);
+        const PerfComparison cmp = comparePerformance(res, baseline);
+        table.addRowNumeric(name,
+                            {res.averagePowerFraction(), cmp.average,
+                             cmp.worst, cmp.unfairness});
+    }
+
+    std::printf("MIX4 (swim+ammp+twolf+sixtrack x2) on 8 cores, "
+                "budget = 60%% of peak\n\n");
+    table.print();
+
+    // MaxBIPS needs a tiny machine.
+    const SimConfig tiny = SimConfig::defaultConfig(4);
+    const ExperimentResult tiny_base =
+        runWorkload("MIX4", "Uncapped", knobs, tiny);
+    const ExperimentResult tiny_fc =
+        runWorkload("MIX4", "FastCap", knobs, tiny);
+    const ExperimentResult tiny_mb =
+        runWorkload("MIX4", "MaxBIPS", knobs, tiny);
+    const PerfComparison c_fc = comparePerformance(tiny_fc, tiny_base);
+    const PerfComparison c_mb = comparePerformance(tiny_mb, tiny_base);
+
+    std::printf("\n4-core corner (MaxBIPS is exponential in cores):\n");
+    std::printf("  FastCap: avg %.3f worst %.3f\n", c_fc.average,
+                c_fc.worst);
+    std::printf("  MaxBIPS: avg %.3f worst %.3f  <- better average, "
+                "worse outlier\n", c_mb.average, c_mb.worst);
+    return 0;
+}

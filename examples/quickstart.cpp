@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: cap a 16-core server at 60% of its peak power with
+ * FastCap and inspect what happened.
+ *
+ * This walks the whole public API surface in ~60 lines:
+ *   1. describe the machine           (SimConfig)
+ *   2. pick a workload                (workloads::mix)
+ *   3. pick a policy                  (FastCapPolicy)
+ *   4. run the epoch loop             (ExperimentRunner)
+ *   5. read power/performance results (ExperimentResult)
+ */
+
+#include <cstdio>
+
+#include "core/fastcap_policy.hpp"
+#include "harness/experiment.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+int
+main()
+{
+    // 1. A 16-core server per Table II of the paper: 10 core DVFS
+    //    levels (2.2-4.0 GHz), 10 memory levels (206-800 MHz).
+    SimConfig machine = SimConfig::defaultConfig(16);
+
+    // 2. MIX3 from Table III: equake + ammp + sjeng + crafty,
+    //    replicated to fill all 16 cores.
+    std::vector<AppProfile> apps = workloads::mix("MIX3", 16);
+
+    // 3. The FastCap governor (Algorithm 1).
+    FastCapPolicy policy;
+
+    // 4. Budget: 60% of the measured peak; each app runs 50M
+    //    instructions (the paper uses 100M Simpoints).
+    ExperimentConfig knobs;
+    knobs.budgetFraction = 0.6;
+    knobs.targetInstructions = 50e6;
+
+    ExperimentRunner runner(machine, std::move(apps), policy, knobs);
+    std::printf("peak power: %.1f W, budget: %.1f W\n",
+                runner.peakPower(), runner.budget());
+
+    ExperimentResult result = runner.run();
+
+    // 5. What happened?
+    std::printf("\nepochs simulated : %zu (%.0f ms of server time)\n",
+                result.epochs.size(),
+                result.epochs.size() * toMs(machine.epochLength));
+    std::printf("average power    : %.1f W (%.1f%% of peak; budget "
+                "was %.0f%%)\n",
+                result.averagePower(),
+                100.0 * result.averagePowerFraction(),
+                100.0 * result.budgetFraction);
+    std::printf("max epoch power  : %.1f W\n", result.maxEpochPower());
+
+    std::printf("\nper-application completion:\n");
+    for (const AppResult &app : result.apps) {
+        std::printf("  core %2d %-8s finished at %6.1f ms "
+                    "(%.3f ns/instruction)\n",
+                    app.core, app.app.c_str(), toMs(app.completionTime),
+                    toNs(app.tpi));
+    }
+
+    const EpochRecord &last = result.epochs.back();
+    std::printf("\nfinal operating point: memory level %zu/%zu, core "
+                "levels:", last.memFreqIdx,
+                machine.memLadder.size() - 1);
+    for (std::size_t idx : last.coreFreqIdx)
+        std::printf(" %zu", idx);
+    std::printf("\n");
+    return 0;
+}

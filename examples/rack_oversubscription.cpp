@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Rack-level power oversubscription scenario — the paper's
+ * motivation: "even when the power capping decisions are made at a
+ * coarser grain (e.g., rack-wise), individual servers must respect
+ * their assigned power budgets."
+ *
+ * A rack controller hands this server a budget that changes over
+ * time: 80% in normal operation, an emergency drop to 45% when a
+ * sibling server spikes, then recovery to 70%. The example shows
+ * FastCap re-tracking each new budget within an epoch or two.
+ */
+
+#include <cstdio>
+
+#include "core/fastcap_policy.hpp"
+#include "harness/experiment.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+int
+main()
+{
+    SimConfig machine = SimConfig::defaultConfig(16);
+    FastCapPolicy policy;
+
+    ExperimentConfig knobs;
+    knobs.budgetFraction = 0.8;
+    knobs.targetInstructions = 1e9; // long-running service
+
+    ExperimentRunner runner(machine, workloads::mix("MID1", 16),
+                            policy, knobs);
+
+    struct Phase
+    {
+        const char *label;
+        double budget;
+        int epochs;
+    };
+    const Phase phases[] = {
+        {"normal operation", 0.80, 8},
+        {"rack emergency: sibling spike", 0.45, 8},
+        {"partial recovery", 0.70, 8},
+    };
+
+    std::printf("peak %.1f W; epoch %.0f ms\n\n", runner.peakPower(),
+                toMs(machine.epochLength));
+    std::printf("%-32s %6s %9s %9s %s\n", "phase", "epoch",
+                "budget W", "power W", "mem level");
+
+    for (const Phase &phase : phases) {
+        runner.budgetFraction(phase.budget);
+        for (int e = 0; e < phase.epochs; ++e) {
+            const EpochRecord rec = runner.step();
+            std::printf("%-32s %6d %9.1f %9.1f %zu\n", phase.label,
+                        rec.epoch, rec.budget, rec.totalPower,
+                        rec.memFreqIdx);
+        }
+    }
+
+    std::printf("\nNote how power converges to each new budget within "
+                "~1-2 epochs (5-10 ms) — the reaction speed Figure 5 "
+                "of the paper reports.\n");
+    return 0;
+}

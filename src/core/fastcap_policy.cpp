@@ -1,0 +1,88 @@
+#include "core/fastcap_policy.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+namespace {
+
+/** Index of the ladder ratio closest to `ratio` (ratios ascending). */
+std::size_t
+closestRatioIndex(const std::vector<double> &ratios, double ratio)
+{
+    std::size_t best = 0;
+    double best_d = std::abs(ratios[0] - ratio);
+    for (std::size_t i = 1; i < ratios.size(); ++i) {
+        const double d = std::abs(ratios[i] - ratio);
+        if (d <= best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+PolicyDecision
+mapToLadders(const PolicyInputs &inputs, const InnerSolution &sol,
+             std::size_t mem_index, int evaluations)
+{
+    PolicyDecision dec;
+    dec.memFreqIdx = mem_index;
+    dec.evaluations = evaluations;
+    dec.predictedPower = sol.predictedPower;
+    dec.coreFreqIdx.reserve(inputs.cores.size());
+    for (double x : sol.coreRatios)
+        dec.coreFreqIdx.push_back(
+            closestRatioIndex(inputs.coreRatios, x));
+    return dec;
+}
+
+PolicyDecision
+FastCapPolicy::decide(const PolicyInputs &inputs)
+{
+    FastCapSolver solver(inputs, _opts);
+    SolveResult res = solver.solve();
+
+    if (!res.best.budgetFeasible &&
+        res.best.predictedPower > inputs.budget * 1.01) {
+        // Budget below the floor power of the platform: everything is
+        // already pinned at minimum frequency; nothing more to shed.
+        warn("FastCap: budget %.1f W below floor power %.1f W; "
+             "pinning minimum frequencies",
+             inputs.budget, res.best.predictedPower);
+    }
+    return mapToLadders(inputs, res.best, res.memIndex,
+                        res.evaluations);
+}
+
+PolicyDecision
+CpuOnlyPolicy::decide(const PolicyInputs &inputs)
+{
+    FastCapSolver solver(inputs, _opts);
+    const std::size_t top = inputs.memRatios.size() - 1;
+    InnerSolution sol = solver.solveAtMemIndex(top);
+    return mapToLadders(inputs, sol, top, solver.evaluations());
+}
+
+PolicyDecision
+UncappedPolicy::decide(const PolicyInputs &inputs)
+{
+    PolicyDecision dec;
+    dec.memFreqIdx = inputs.memRatios.size() - 1;
+    dec.coreFreqIdx.assign(inputs.cores.size(),
+                           inputs.coreRatios.size() - 1);
+    dec.evaluations = 0;
+
+    // Predicted power at the all-max point, for reporting symmetry.
+    Watts p = inputs.staticPower() + inputs.memory.pm;
+    for (const CoreModel &c : inputs.cores)
+        p += c.pi;
+    dec.predictedPower = p;
+    return dec;
+}
+
+} // namespace fastcap

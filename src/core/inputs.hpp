@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The information a capping policy sees each epoch.
+ *
+ * Everything here is derived from performance counters and online
+ * model fitting (Section III-C of the paper) — policies never see the
+ * simulator's ground-truth parameters. All times in seconds, powers
+ * in watts, frequency ratios normalized to the respective maximum.
+ */
+
+#ifndef FASTCAP_CORE_INPUTS_HPP
+#define FASTCAP_CORE_INPUTS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Per-core model inputs (Eq. 2 parameters plus queuing inputs). */
+struct CoreModel
+{
+    /** Minimum think time z̄_i: think time at max core frequency. */
+    Seconds zbar = 0.0;
+    /** Shared-cache time c_i (frequency-independent). */
+    Seconds cache = 0.0;
+    /** Fitted max frequency-dependent power P_i (Eq. 2). */
+    Watts pi = 0.0;
+    /** Fitted exponent alpha_i (Eq. 2), typically 2-3. */
+    double alpha = 2.5;
+    /** Static per-core power (known/measured offline). */
+    Watts pStatic = 0.0;
+    /** Instructions per memory access (TIC / TLM). */
+    double ipa = 1000.0;
+    /** Measured total core power in the profiling window. */
+    Watts measuredPower = 0.0;
+    /** Measured instruction rate in the profiling window (1/s). */
+    double measuredIps = 0.0;
+};
+
+/** Per-controller queuing-model inputs (Eq. 1 parameters). */
+struct ControllerModel
+{
+    /** Mean bank queue depth at arrival, Q. */
+    double q = 1.0;
+    /** Mean bus queue length at bank departure, U. */
+    double u = 1.0;
+    /** Mean bank service time, s_m. */
+    Seconds sm = 0.0;
+    /** Minimum bus transfer time s̄_b (at max memory frequency). */
+    Seconds sbBar = 0.0;
+    /**
+     * Measured request arrival rate (reads + writebacks per second).
+     * Used to keep the memory search inside the Eq. 1 model's
+     * validity domain: below bus saturation, where Q and U sampled
+     * at one operating point still predict other points.
+     */
+    double arrivalRate = 0.0;
+};
+
+/** Memory-subsystem model inputs (Eq. 3 parameters). */
+struct MemoryModel
+{
+    std::vector<ControllerModel> controllers;
+    /** Fitted max frequency-dependent memory power P_m (Eq. 3). */
+    Watts pm = 0.0;
+    /** Fitted exponent beta (Eq. 3), close to 1. */
+    double beta = 1.0;
+    /** Static memory power. */
+    Watts pStatic = 0.0;
+    /** Measured total memory power in the profiling window. */
+    Watts measuredPower = 0.0;
+};
+
+/**
+ * Full per-epoch inputs handed to a capping policy.
+ */
+struct PolicyInputs
+{
+    std::vector<CoreModel> cores;
+    MemoryModel memory;
+
+    /**
+     * Access probabilities: accessProbs[i][k] is the fraction of core
+     * i's misses served by controller k (Section IV-B, multiple
+     * memory controllers). Single controller: one column of ones.
+     */
+    std::vector<std::vector<double>> accessProbs;
+
+    /** Background (non-core, non-memory) power. */
+    Watts background = 0.0;
+
+    /** Power budget in watts: B * P̄. */
+    Watts budget = 0.0;
+
+    /** Core-frequency ladder as ratios f/f_max, ascending. */
+    std::vector<double> coreRatios;
+
+    /** Memory-frequency ladder as ratios f/f_max, ascending. */
+    std::vector<double> memRatios;
+
+    /** Total static + background power (the paper's P_s). */
+    Watts
+    staticPower() const
+    {
+        Watts ps = background + memory.pStatic;
+        for (const CoreModel &c : cores)
+            ps += c.pStatic;
+        return ps;
+    }
+
+    std::size_t numCores() const { return cores.size(); }
+    std::size_t numMemLevels() const { return memRatios.size(); }
+
+    /** Lowest selectable core ratio f_min/f_max. */
+    double
+    minCoreRatio() const
+    {
+        return coreRatios.empty() ? 1.0 : coreRatios.front();
+    }
+};
+
+/** A policy's chosen operating point for the next epoch. */
+struct PolicyDecision
+{
+    /** Ladder index per core. */
+    std::vector<std::size_t> coreFreqIdx;
+    /** Ladder index for the memory subsystem. */
+    std::size_t memFreqIdx = 0;
+    /** Inner-solve evaluations performed (complexity accounting). */
+    int evaluations = 0;
+    /** Power the policy predicts for this operating point. */
+    Watts predictedPower = 0.0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_CORE_INPUTS_HPP

@@ -1,0 +1,128 @@
+#include "core/model_fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace fastcap {
+
+PowerLawTracker::PowerLawTracker(double default_exponent,
+                                 std::size_t history,
+                                 double min_exponent,
+                                 double max_exponent)
+    : _defaultExponent(default_exponent), _historyLimit(history),
+      _minExponent(min_exponent), _maxExponent(max_exponent)
+{
+    if (history < 2)
+        fatal("PowerLawTracker: history must be >= 2");
+    _model.exponent = default_exponent;
+}
+
+void
+PowerLawTracker::observe(double ratio, Watts dyn_power)
+{
+    if (ratio <= 0.0 || ratio > 1.0 + 1e-9) {
+        warn("PowerLawTracker: ignoring out-of-range ratio %g", ratio);
+        return;
+    }
+    if (dyn_power <= 0.0) {
+        // A zero/negative dynamic-power measurement carries no
+        // information for a multiplicative model; skip it.
+        return;
+    }
+
+    auto same = std::find_if(_history.begin(), _history.end(),
+                             [&](const Sample &s) {
+                                 return approxEqual(s.ratio, ratio, 1e-6);
+                             });
+    if (same != _history.end()) {
+        // Refresh: smooth toward the new measurement so stale samples
+        // at the same frequency do not fossilise.
+        same->power = 0.5 * same->power + 0.5 * dyn_power;
+    } else {
+        _history.push_back(Sample{ratio, dyn_power});
+        while (_history.size() > _historyLimit)
+            _history.pop_front();
+    }
+    refit();
+}
+
+void
+PowerLawTracker::refit()
+{
+    if (_history.empty())
+        return;
+
+    if (_history.size() == 1) {
+        // Bootstrap: solve Eq. 2 for the scale with the default
+        // exponent.
+        const Sample &s = _history.front();
+        _model.scale = s.power / std::pow(s.ratio, _defaultExponent);
+        _model.exponent = _defaultExponent;
+        _model.fromFit = false;
+        return;
+    }
+
+    std::vector<double> xs, ys;
+    xs.reserve(_history.size());
+    ys.reserve(_history.size());
+    for (const Sample &s : _history) {
+        xs.push_back(s.ratio);
+        ys.push_back(s.power);
+    }
+    const PowerLawFit fit = fitPowerLaw(xs, ys);
+    if (!fit.valid) {
+        // Degenerate (all ratios equal): fall back to bootstrap on
+        // the freshest sample.
+        const Sample &s = _history.back();
+        _model.scale = s.power / std::pow(s.ratio, _defaultExponent);
+        _model.exponent = _defaultExponent;
+        _model.fromFit = false;
+        return;
+    }
+
+    _model.exponent =
+        std::clamp(fit.exponent, _minExponent, _maxExponent);
+    if (approxEqual(_model.exponent, fit.exponent)) {
+        _model.scale = fit.scale;
+    } else {
+        // Exponent clamped: re-anchor the scale on the freshest
+        // sample so predictions stay close to recent reality.
+        const Sample &s = _history.back();
+        _model.scale = s.power / std::pow(s.ratio, _model.exponent);
+    }
+    _model.fromFit = true;
+}
+
+ModelFitter::ModelFitter(std::size_t num_cores, double core_exponent,
+                         double mem_exponent, double min_exponent,
+                         double max_exponent)
+    : _memory(mem_exponent, 3, min_exponent, max_exponent)
+{
+    _cores.reserve(num_cores);
+    for (std::size_t i = 0; i < num_cores; ++i)
+        _cores.emplace_back(core_exponent, 3, min_exponent,
+                            max_exponent);
+}
+
+void
+ModelFitter::observeCore(std::size_t core, double ratio, Watts dyn_power)
+{
+    _cores.at(core).observe(ratio, dyn_power);
+}
+
+void
+ModelFitter::observeMemory(double ratio, Watts dyn_power)
+{
+    _memory.observe(ratio, dyn_power);
+}
+
+FittedModel
+ModelFitter::core(std::size_t core) const
+{
+    return _cores.at(core).model();
+}
+
+} // namespace fastcap

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Abstract interface for epoch-level power-capping policies.
+ *
+ * The harness calls decide() once per epoch with counter-derived
+ * inputs; the policy returns ladder indices for every core and for
+ * the memory subsystem. FastCap and every baseline of Section IV
+ * implement this interface over the same inputs, which is exactly how
+ * the paper extends the baselines with memory DVFS.
+ */
+
+#ifndef FASTCAP_CORE_POLICY_HPP
+#define FASTCAP_CORE_POLICY_HPP
+
+#include <string>
+
+#include "core/inputs.hpp"
+
+namespace fastcap {
+
+/**
+ * A power-capping policy: maps per-epoch inputs to DVFS settings.
+ */
+class CappingPolicy
+{
+  public:
+    virtual ~CappingPolicy() = default;
+
+    /** Short name used in reports ("FastCap", "Eql-Pwr", ...). */
+    virtual std::string name() const = 0;
+
+    /** Choose the operating point for the next epoch. */
+    virtual PolicyDecision decide(const PolicyInputs &inputs) = 0;
+
+    /** False for policies that pin the memory frequency at max. */
+    virtual bool usesMemoryDvfs() const { return true; }
+
+    /** Reset controller state between experiments (default: none). */
+    virtual void reset() {}
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_CORE_POLICY_HPP

@@ -1,0 +1,102 @@
+#include "core/queuing_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+QueuingModel::QueuingModel(const PolicyInputs &inputs) : _in(inputs)
+{
+    if (_in.memory.controllers.empty())
+        fatal("QueuingModel: no memory controllers in inputs");
+    if (_in.accessProbs.size() != _in.cores.size())
+        fatal("QueuingModel: accessProbs rows (%zu) != cores (%zu)",
+              _in.accessProbs.size(), _in.cores.size());
+}
+
+Seconds
+QueuingModel::controllerResponse(std::size_t k, double x_b) const
+{
+    const ControllerModel &c = _in.memory.controllers.at(k);
+    if (x_b <= 0.0)
+        panic("QueuingModel: non-positive memory ratio %g", x_b);
+    // Eq. 1 with s_b = s̄_b / x_b.
+    const Seconds sb = c.sbBar / x_b;
+    return c.q * (c.sm + c.u * sb);
+}
+
+Seconds
+QueuingModel::responseTime(std::size_t core, double x_b) const
+{
+    const auto &probs = _in.accessProbs.at(core);
+    Seconds r = 0.0;
+    for (std::size_t k = 0; k < probs.size(); ++k) {
+        if (probs[k] > 0.0)
+            r += probs[k] * controllerResponse(k, x_b);
+    }
+    return r;
+}
+
+Seconds
+QueuingModel::minResponseTime(std::size_t core) const
+{
+    return responseTime(core, 1.0);
+}
+
+Seconds
+QueuingModel::minTurnaround(std::size_t core) const
+{
+    const CoreModel &c = _in.cores.at(core);
+    return c.zbar + c.cache + minResponseTime(core);
+}
+
+Seconds
+QueuingModel::turnaround(std::size_t core, double x_i, double x_b) const
+{
+    const CoreModel &c = _in.cores.at(core);
+    if (x_i <= 0.0)
+        panic("QueuingModel: non-positive core ratio %g", x_i);
+    return c.zbar / x_i + c.cache + responseTime(core, x_b);
+}
+
+double
+QueuingModel::performance(std::size_t core, double x_i, double x_b) const
+{
+    return minTurnaround(core) / turnaround(core, x_i, x_b);
+}
+
+double
+QueuingModel::instructionRate(std::size_t core, double x_i,
+                              double x_b) const
+{
+    const CoreModel &c = _in.cores.at(core);
+    return c.ipa / turnaround(core, x_i, x_b);
+}
+
+std::size_t
+minMemIndexForUtilisation(const PolicyInputs &inputs,
+                          double max_utilisation)
+{
+    if (inputs.memRatios.empty())
+        fatal("minMemIndexForUtilisation: empty memory ladder");
+    if (max_utilisation <= 0.0)
+        return inputs.memRatios.size() - 1;
+
+    for (std::size_t m = 0; m < inputs.memRatios.size(); ++m) {
+        const double x_b = inputs.memRatios[m];
+        bool ok = true;
+        for (const ControllerModel &c : inputs.memory.controllers) {
+            // Transfer time per line at this level times the demand.
+            const double util =
+                c.arrivalRate * (c.sbBar / x_b);
+            if (util > max_utilisation) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return m;
+    }
+    return inputs.memRatios.size() - 1;
+}
+
+} // namespace fastcap

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The closed-network queuing model of Section III-A.
+ *
+ * Response time approximation (Eq. 1): R(s_b) ~= Q * (s_m + U * s_b),
+ * generalized to multiple controllers by weighting each controller's
+ * response with the core's access probabilities (Section IV-B).
+ */
+
+#ifndef FASTCAP_CORE_QUEUING_MODEL_HPP
+#define FASTCAP_CORE_QUEUING_MODEL_HPP
+
+#include <cstddef>
+
+#include "core/inputs.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Evaluates memory response times and turn-around times from the
+ * per-epoch inputs. Stateless view over PolicyInputs.
+ */
+class QueuingModel
+{
+  public:
+    explicit QueuingModel(const PolicyInputs &inputs);
+
+    /**
+     * Response time of controller k at memory ratio x_b = s̄_b / s_b
+     * (x_b = 1 is maximum memory frequency).
+     */
+    Seconds controllerResponse(std::size_t k, double x_b) const;
+
+    /**
+     * Mean response time experienced by core i at memory ratio x_b:
+     * the access-probability-weighted average over controllers.
+     */
+    Seconds responseTime(std::size_t core, double x_b) const;
+
+    /** R̄_i: response time at maximum memory frequency. */
+    Seconds minResponseTime(std::size_t core) const;
+
+    /**
+     * Minimum turn-around time T̄_i = z̄_i + c_i + R̄_i — the best
+     * possible per-access time for core i (Constraint 5's baseline).
+     */
+    Seconds minTurnaround(std::size_t core) const;
+
+    /**
+     * Turn-around time for core i given its think-time ratio
+     * x_i = z̄_i / z_i and the memory ratio x_b.
+     */
+    Seconds turnaround(std::size_t core, double x_i, double x_b) const;
+
+    /**
+     * Performance factor D_i achieved by core i at (x_i, x_b):
+     * D_i = T̄_i / T_i, in (0, 1].
+     */
+    double performance(std::size_t core, double x_i, double x_b) const;
+
+    /** Predicted instruction rate (IPS) of core i at (x_i, x_b). */
+    double instructionRate(std::size_t core, double x_i,
+                           double x_b) const;
+
+  private:
+    const PolicyInputs &_in;
+};
+
+/**
+ * Lowest memory-ladder index whose predicted bus utilisation (at the
+ * measured arrival rate) stays at or below `max_utilisation` on every
+ * controller. Eq. 1 extrapolates Q and U measured at one operating
+ * point; past saturation that extrapolation collapses, so all
+ * policies restrict their memory search to this validity domain.
+ * Returns the top index if even that saturates.
+ */
+std::size_t minMemIndexForUtilisation(const PolicyInputs &inputs,
+                                      double max_utilisation = 0.9);
+
+} // namespace fastcap
+
+#endif // FASTCAP_CORE_QUEUING_MODEL_HPP

@@ -1,0 +1,252 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+#include "util/math.hpp"
+
+namespace fastcap {
+
+FastCapSolver::FastCapSolver(const PolicyInputs &inputs,
+                             SolverOptions opts)
+    : _in(inputs), _opts(opts), _queuing(inputs)
+{
+    if (_in.cores.empty())
+        fatal("FastCapSolver: no cores in inputs");
+    if (_in.memRatios.empty())
+        fatal("FastCapSolver: empty memory ladder");
+    if (_in.budget <= 0.0)
+        fatal("FastCapSolver: non-positive budget");
+
+    _minTurnaround.reserve(_in.cores.size());
+    for (std::size_t i = 0; i < _in.cores.size(); ++i)
+        _minTurnaround.push_back(_queuing.minTurnaround(i));
+}
+
+Watts
+FastCapSolver::power(const std::vector<double> &core_ratios,
+                     double x_b) const
+{
+    Watts p = _in.staticPower();
+    for (std::size_t i = 0; i < _in.cores.size(); ++i) {
+        const CoreModel &c = _in.cores[i];
+        p += c.pi * std::pow(core_ratios[i], c.alpha);
+    }
+    p += _in.memory.pm * std::pow(x_b, _in.memory.beta);
+    return p;
+}
+
+double
+FastCapSolver::maxD(const std::vector<Seconds> &r_at_xb) const
+{
+    // D may rise until the fastest-constrained core hits z_i = z̄_i
+    // (constraint 7): D <= T̄_i / (z̄_i + c_i + R_i(x_b)).
+    double d_max = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < _in.cores.size(); ++i) {
+        const CoreModel &c = _in.cores[i];
+        const double bound =
+            _minTurnaround[i] / (c.zbar + c.cache + r_at_xb[i]);
+        d_max = std::min(d_max, bound);
+    }
+    return d_max;
+}
+
+double
+FastCapSolver::coreRatioAtD(std::size_t i, double d,
+                            const std::vector<Seconds> &r_at_xb) const
+{
+    const CoreModel &c = _in.cores[i];
+    // Eq. 8: z_i = T̄_i / D - c_i - R_i(x_b).
+    const Seconds z = _minTurnaround[i] / d - c.cache - r_at_xb[i];
+    if (z <= c.zbar) {
+        // At or beyond the top of the ladder (D near maxD).
+        return 1.0;
+    }
+    // Frequency-ladder floor: cores that would need to run below
+    // f_min are pinned there; their power saturates, which preserves
+    // monotonicity of power in D.
+    return std::max(c.zbar / z, _in.minCoreRatio());
+}
+
+Watts
+FastCapSolver::powerAtD(double d, double x_b,
+                        const std::vector<Seconds> &r_at_xb,
+                        std::vector<double> *ratios_out) const
+{
+    Watts p = _in.staticPower() +
+        _in.memory.pm * std::pow(x_b, _in.memory.beta);
+
+    for (std::size_t i = 0; i < _in.cores.size(); ++i) {
+        const CoreModel &c = _in.cores[i];
+        const double x = coreRatioAtD(i, d, r_at_xb);
+        p += c.pi * std::pow(x, c.alpha);
+        if (ratios_out)
+            (*ratios_out)[i] = x;
+    }
+    return p;
+}
+
+Watts
+FastCapSolver::socketPowerAtD(const SocketBudget &socket, double d,
+                              const std::vector<Seconds> &r_at_xb) const
+{
+    Watts p = 0.0;
+    const std::size_t end = socket.firstCore + socket.numCores;
+    for (std::size_t i = socket.firstCore; i < end; ++i) {
+        const CoreModel &c = _in.cores[i];
+        const double x = coreRatioAtD(i, d, r_at_xb);
+        p += c.pi * std::pow(x, c.alpha) + c.pStatic;
+    }
+    return p;
+}
+
+InnerSolution
+FastCapSolver::solveAtMemRatio(double x_b)
+{
+    ++_evaluations;
+
+    std::vector<Seconds> r_at_xb(_in.cores.size());
+    for (std::size_t i = 0; i < _in.cores.size(); ++i)
+        r_at_xb[i] = _queuing.responseTime(i, x_b);
+
+    const double d_hi = maxD(r_at_xb);
+    // Below d_lo every core is pinned at f_min and power is constant;
+    // the root (if any) lies above it.
+    const double d_lo = d_hi * 1e-4;
+
+    const auto residual = [&](double d) {
+        return powerAtD(d, x_b, r_at_xb, nullptr) - _in.budget;
+    };
+
+    const RootResult root = solveMonotone(
+        residual, d_lo, d_hi, d_hi * _opts.dTolerance,
+        _in.budget * 1e-9, 200);
+
+    // Per-processor constraints (6'): each socket's own monotone
+    // solve bounds D as well; the system runs at the tightest one so
+    // degradation stays equal across all applications.
+    double d_final = root.x;
+    for (const SocketBudget &socket : _opts.socketBudgets) {
+        if (socket.numCores == 0 ||
+            socket.firstCore + socket.numCores > _in.cores.size())
+            fatal("FastCapSolver: socket budget range [%zu, %zu) out "
+                  "of bounds", socket.firstCore,
+                  socket.firstCore + socket.numCores);
+        const auto socket_residual = [&](double d) {
+            return socketPowerAtD(socket, d, r_at_xb) - socket.budget;
+        };
+        const RootResult socket_root = solveMonotone(
+            socket_residual, d_lo, d_hi, d_hi * _opts.dTolerance,
+            std::max(socket.budget, 1.0) * 1e-9, 200);
+        d_final = std::min(d_final, socket_root.x);
+    }
+
+    InnerSolution sol;
+    sol.memRatio = x_b;
+    sol.d = d_final;
+    sol.coreRatios.assign(_in.cores.size(), 1.0);
+    sol.predictedPower =
+        powerAtD(d_final, x_b, r_at_xb, &sol.coreRatios);
+    // Tolerance matches the bisection's, so a solution sitting right
+    // on the budget is not misreported as infeasible.
+    sol.budgetFeasible =
+        sol.predictedPower <= _in.budget * (1.0 + 1e-3);
+    for (const SocketBudget &socket : _opts.socketBudgets) {
+        if (socketPowerAtD(socket, d_final, r_at_xb) >
+            socket.budget * (1.0 + 1e-3))
+            sol.budgetFeasible = false;
+    }
+    if (!sol.budgetFeasible) {
+        // Budget below this memory level's floor power. Rank such
+        // points below every feasible one, ordered by how far over
+        // budget the floor sits: the memory-level search then walks
+        // toward cheaper levels instead of chasing the meaningless
+        // saturated-D placeholder.
+        sol.d = -(sol.predictedPower - _in.budget) / _in.budget;
+    }
+    return sol;
+}
+
+InnerSolution
+FastCapSolver::solveAtMemIndex(std::size_t mem_index)
+{
+    return solveAtMemRatio(_in.memRatios.at(mem_index));
+}
+
+SolveResult
+FastCapSolver::solve()
+{
+    const std::size_t m = _in.memRatios.size();
+    SolveResult result;
+
+    // Restrict the search to the queuing model's validity domain:
+    // below this index the measured arrival rate would saturate the
+    // bus and Eq. 1's extrapolation collapses.
+    const std::size_t floor_idx =
+        minMemIndexForUtilisation(_in, _opts.maxBusUtilisation);
+
+    if (_opts.exhaustiveMemSearch || m - floor_idx <= 3) {
+        // Reference path: scan every admissible memory level (used by
+        // the ablation bench to validate the binary search).
+        InnerSolution best;
+        std::size_t best_idx = floor_idx;
+        bool first = true;
+        for (std::size_t idx = floor_idx; idx < m; ++idx) {
+            InnerSolution s = solveAtMemIndex(idx);
+            if (first || s.d > best.d) {
+                first = false;
+                best = std::move(s);
+                best_idx = idx;
+            }
+        }
+        result.best = std::move(best);
+        result.memIndex = best_idx;
+        result.evaluations = _evaluations;
+        return result;
+    }
+
+    // Algorithm 1: binary search over the (unimodal, by convexity of
+    // the underlying problem) D(m) curve. Memoize evaluations so
+    // neighbour probes are not repeated.
+    std::vector<InnerSolution> memo(m);
+    std::vector<bool> have(m, false);
+    const auto eval = [&](std::size_t idx) -> const InnerSolution & {
+        if (!have[idx]) {
+            memo[idx] = solveAtMemIndex(idx);
+            have[idx] = true;
+        }
+        return memo[idx];
+    };
+
+    std::size_t lo = floor_idx;
+    std::size_t hi = m - 1;
+    std::size_t mid = (lo + hi) / 2;
+    while (lo < hi) {
+        mid = (lo + hi) / 2;
+        const double d_mid = eval(mid).d;
+        const double d_up =
+            (mid + 1 <= hi) ? eval(mid + 1).d
+                            : -std::numeric_limits<double>::infinity();
+        const double d_down =
+            (mid >= lo + 1) ? eval(mid - 1).d
+                            : -std::numeric_limits<double>::infinity();
+
+        if (d_up > d_mid) {
+            lo = mid + 1;       // ascending to the right
+        } else if (d_down > d_mid) {
+            hi = mid - 1;       // ascending to the left
+        } else {
+            lo = hi = mid;      // local (= global, unimodal) optimum
+        }
+    }
+    mid = lo;
+
+    result.best = eval(mid);
+    result.memIndex = mid;
+    result.evaluations = _evaluations;
+    return result;
+}
+
+} // namespace fastcap

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The FastCap optimization solver (Section III-B).
+ *
+ * The optimization:
+ *
+ *   maximize D
+ *   s.t. (z_i + c_i + R(s_b)) / (z̄_i + c_i + R(s̄_b)) <= 1/D   (5)
+ *        sum_i P_i (z̄_i/z_i)^alpha_i + P_m (s̄_b/s_b)^beta + P_s
+ *            <= B * P̄                                          (6)
+ *        z_i >= z̄_i, s_b >= s̄_b                                (7)
+ *
+ * Theorem 1: both (5) and (6) are tight at the optimum. For a fixed
+ * memory ratio x_b this reduces the problem to one unknown D, with
+ *
+ *     z_i(D) = T̄_i / D - c_i - R_i(x_b)        (Eq. 8)
+ *
+ * and total power strictly increasing in D, so D is found by a
+ * monotone root solve in O(N) per evaluation. A binary search over
+ * the M memory levels (Algorithm 1) gives O(N log M) overall.
+ *
+ * Frequency-ladder clamping: cores whose required ratio falls below
+ * f_min/f_max are pinned at the lowest frequency; their power
+ * contribution saturates, keeping the power curve monotone in D.
+ */
+
+#ifndef FASTCAP_CORE_SOLVER_HPP
+#define FASTCAP_CORE_SOLVER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/inputs.hpp"
+#include "core/queuing_model.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Outcome of the inner solve at one memory level. */
+struct InnerSolution
+{
+    /**
+     * Achieved performance factor in (0, 1] when the budget is
+     * feasible at this memory level. When infeasible (floor power
+     * above budget), holds a negative penalty proportional to the
+     * overshoot so the memory search orders such points correctly.
+     */
+    double d = 0.0;
+    double memRatio = 1.0;        //!< x_b evaluated
+    std::vector<double> coreRatios; //!< x_i per core, in (0, 1]
+    Watts predictedPower = 0.0;   //!< model power at this point
+    bool budgetFeasible = false;  //!< power <= budget (within tol)
+};
+
+/** Outcome of the full FastCap solve. */
+struct SolveResult
+{
+    InnerSolution best;
+    std::size_t memIndex = 0;   //!< chosen memory ladder index
+    int evaluations = 0;        //!< inner solves performed
+};
+
+/**
+ * A per-processor (socket) power budget: constrains the total power
+ * (dynamic + static) of a contiguous range of cores. Section III-B:
+ * "it can be extended to capture per-processor power budgets by
+ * adding a constraint similar to constraint 6 for each processor."
+ */
+struct SocketBudget
+{
+    std::size_t firstCore = 0;
+    std::size_t numCores = 0;
+    Watts budget = 0.0;
+};
+
+/** Options controlling the FastCap solve. */
+struct SolverOptions
+{
+    /** Bisection tolerance on D (relative). */
+    double dTolerance = 1e-6;
+    /** Scan all M memory levels instead of binary search. */
+    bool exhaustiveMemSearch = false;
+    /**
+     * Highest predicted bus utilisation the memory search may visit
+     * (Eq. 1's validity domain; see minMemIndexForUtilisation).
+     * Non-positive disables the guard.
+     */
+    double maxBusUtilisation = 0.9;
+    /**
+     * Optional per-processor budgets (additional constraints 6').
+     * The achieved D becomes the minimum of the global solve and
+     * each socket's own monotone solve; all cores then run at that
+     * common D, preserving system-wide fairness.
+     */
+    std::vector<SocketBudget> socketBudgets;
+};
+
+/**
+ * Implements the inner Theorem-1 solve and Algorithm 1's binary
+ * search over memory frequencies.
+ */
+class FastCapSolver
+{
+  public:
+    explicit FastCapSolver(const PolicyInputs &inputs,
+                           SolverOptions opts = SolverOptions{});
+
+    /**
+     * Full solve: Algorithm 1. Returns the best memory level, the
+     * per-core ratios at that level, and bookkeeping for complexity
+     * accounting.
+     */
+    SolveResult solve();
+
+    /**
+     * Inner solve at a fixed memory ladder index (the O(N) step).
+     * Exposed for the baseline policies and for tests of Theorem 1.
+     */
+    InnerSolution solveAtMemIndex(std::size_t mem_index);
+
+    /**
+     * Inner solve at an arbitrary memory ratio x_b (not necessarily
+     * on the ladder).
+     */
+    InnerSolution solveAtMemRatio(double x_b);
+
+    /**
+     * Model power at an explicit operating point — Eq. 6's left-hand
+     * side. Used by baseline policies sharing the power model.
+     */
+    Watts power(const std::vector<double> &core_ratios,
+                double x_b) const;
+
+    /** Inner-solve evaluations since construction. */
+    int evaluations() const { return _evaluations; }
+
+    const QueuingModel &queuing() const { return _queuing; }
+
+  private:
+    /** Power as a function of D at fixed x_b (monotone increasing). */
+    Watts powerAtD(double d, double x_b,
+                   const std::vector<Seconds> &r_at_xb,
+                   std::vector<double> *ratios_out) const;
+
+    /** Core-ratio x_i implied by D at fixed x_b (Eq. 8 + clamps). */
+    double coreRatioAtD(std::size_t core, double d,
+                        const std::vector<Seconds> &r_at_xb) const;
+
+    /** Total power (dynamic + static) of one socket's cores at D. */
+    Watts socketPowerAtD(const SocketBudget &socket, double d,
+                         const std::vector<Seconds> &r_at_xb) const;
+
+    /** Largest feasible D at x_b (all constraints 7 satisfied). */
+    double maxD(const std::vector<Seconds> &r_at_xb) const;
+
+    const PolicyInputs &_in;
+    SolverOptions _opts;
+    QueuingModel _queuing;
+    std::vector<Seconds> _minTurnaround; //!< T̄_i cache
+    int _evaluations = 0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_CORE_SOLVER_HPP

@@ -1,0 +1,380 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "harness/peak_power.hpp"
+#include "policies/registry.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+
+Watts
+ExperimentResult::averagePower() const
+{
+    if (epochs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const EpochRecord &e : epochs)
+        acc += e.totalPower;
+    return acc / static_cast<double>(epochs.size());
+}
+
+Watts
+ExperimentResult::maxEpochPower() const
+{
+    Watts m = 0.0;
+    for (const EpochRecord &e : epochs)
+        m = std::max(m, e.totalPower);
+    return m;
+}
+
+double
+ExperimentResult::averagePowerFraction() const
+{
+    return peakPower > 0.0 ? averagePower() / peakPower : 0.0;
+}
+
+double
+ExperimentResult::maxEpochPowerFraction() const
+{
+    return peakPower > 0.0 ? maxEpochPower() / peakPower : 0.0;
+}
+
+bool
+ExperimentResult::allCompleted() const
+{
+    for (const AppResult &a : apps)
+        if (!a.completed)
+            return false;
+    return true;
+}
+
+ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
+                                   std::vector<AppProfile> apps,
+                                   CappingPolicy &policy,
+                                   ExperimentConfig cfg)
+    : _simCfg(std::move(sim_cfg)),
+      _system(_simCfg, std::move(apps)),
+      _policy(policy), _cfg(std::move(cfg)),
+      _fitter(static_cast<std::size_t>(_simCfg.numCores),
+              _cfg.linearPowerModel ? 1.0 : 2.5,
+              _cfg.linearPowerModel ? 1.0 : 1.0,
+              _cfg.linearPowerModel ? 1.0 : 0.3,
+              _cfg.linearPowerModel ? 1.0 : 4.0)
+{
+    if (_cfg.budgetFraction <= 0.0 || _cfg.budgetFraction > 1.0)
+        fatal("ExperimentRunner: budget fraction must be in (0, 1]");
+    if (_cfg.targetInstructions <= 0.0)
+        fatal("ExperimentRunner: target instructions must be positive");
+
+    if (_cfg.peakPowerOverride > 0.0)
+        _peakPower = _cfg.peakPowerOverride;
+    else if (_cfg.measurePeak)
+        _peakPower = measuredPeakPower(_simCfg);
+    else
+        _peakPower = _system.nameplatePeakPower();
+
+    _policy.reset();
+
+    const int n = _simCfg.numCores;
+    _apps.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        _apps[static_cast<std::size_t>(i)].app =
+            _system.appOf(i).name();
+        _apps[static_cast<std::size_t>(i)].core = i;
+    }
+
+    // Fallback queuing inputs before the first window: think time of
+    // the bound application at max frequency.
+    _lastZbar.resize(static_cast<std::size_t>(n));
+    _lastIpa.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const Phase &ph = _system.appOf(i).phaseAt(0.0);
+        _lastIpa[static_cast<std::size_t>(i)] = ph.instructionsPerMiss();
+        _lastZbar[static_cast<std::size_t>(i)] =
+            ph.instructionsPerMiss() * ph.cpiExec /
+            _simCfg.coreLadder.max();
+    }
+}
+
+void
+ExperimentRunner::budgetFraction(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        fatal("budgetFraction must be in (0, 1]");
+    _cfg.budgetFraction = fraction;
+}
+
+Watts
+ExperimentRunner::budget() const
+{
+    return _cfg.budgetFraction * _peakPower;
+}
+
+bool
+ExperimentRunner::done() const
+{
+    for (const AppResult &a : _apps)
+        if (!a.completed)
+            return false;
+    return true;
+}
+
+PolicyInputs
+ExperimentRunner::buildInputs(const WindowStats &w)
+{
+    PolicyInputs in;
+    const std::size_t n = w.cores.size();
+    const double f_max = _simCfg.coreLadder.max();
+
+    in.coreRatios = _simCfg.coreLadder.ratios();
+    in.memRatios = _simCfg.memLadder.ratios();
+    in.background = _simCfg.backgroundPower;
+    in.budget = budget();
+
+    in.cores.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreWindowStats &cs = w.cores[i];
+        CoreModel &cm = in.cores[i];
+
+        // Eq. 9: z̄ = (busy time per blocking event), scaled from the
+        // profiling frequency to the maximum frequency.
+        const std::uint64_t blocking =
+            std::max<std::uint64_t>(cs.counters.stalls, 1);
+        if (cs.counters.misses > 0 && cs.counters.busyTime > 0.0) {
+            const Seconds z_prof = cs.counters.busyTime /
+                static_cast<double>(blocking);
+            cm.zbar = z_prof * (cs.frequency / f_max);
+            cm.ipa = static_cast<double>(cs.counters.instructions) /
+                static_cast<double>(blocking);
+            _lastZbar[i] = cm.zbar;
+            _lastIpa[i] = cm.ipa;
+        } else {
+            // Miss-free window: reuse the last good estimate.
+            cm.zbar = _lastZbar[i];
+            cm.ipa = _lastIpa[i];
+        }
+        cm.cache = _simCfg.l2Time;
+        cm.pStatic = _simCfg.corePower.staticPower;
+        cm.measuredPower = cs.totalPower;
+        cm.measuredIps =
+            static_cast<double>(cs.counters.instructions) / w.duration;
+
+        // Online Eq. 2 fit from (frequency ratio, dynamic power).
+        _fitter.observeCore(i, cs.frequency / f_max, cs.dynamicPower);
+        const FittedModel fm = _fitter.core(i);
+        cm.pi = fm.scale;
+        cm.alpha = fm.exponent;
+    }
+
+    // Memory: MemScale counters per controller + Eq. 3 fit.
+    const double mem_fmax = _simCfg.memLadder.max();
+    const Seconds fallback_sm =
+        _simCfg.rowHitRate * _simCfg.bankRowHitTime +
+        (1.0 - _simCfg.rowHitRate) * _simCfg.bankRowMissTime;
+
+    Watts mem_dyn = 0.0;
+    Watts mem_total = 0.0;
+    if (_qSmooth.size() != w.memory.size()) {
+        _qSmooth.assign(w.memory.size(), Ewma(0.5));
+        _uSmooth.assign(w.memory.size(), Ewma(0.5));
+        _rateSmooth.assign(w.memory.size(), Ewma(0.5));
+    }
+    in.memory.controllers.resize(w.memory.size());
+    for (std::size_t k = 0; k < w.memory.size(); ++k) {
+        const MemWindowStats &ms = w.memory[k];
+        ControllerModel &ctl = in.memory.controllers[k];
+        // Light smoothing damps epoch-to-epoch swing in the sampled
+        // queue statistics (they depend on the operating point the
+        // window happened to run at).
+        _qSmooth[k].add(ms.counters.meanQ());
+        _uSmooth[k].add(ms.counters.meanU());
+        _rateSmooth[k].add(
+            static_cast<double>(ms.counters.reads +
+                                ms.counters.writebacks) / w.duration);
+        ctl.q = _qSmooth[k].value();
+        ctl.u = _uSmooth[k].value();
+        ctl.sm = ms.counters.meanServiceTime(fallback_sm);
+        ctl.sbBar = _simCfg.busBurstCycles / mem_fmax;
+        ctl.arrivalRate = _rateSmooth[k].value();
+        mem_dyn += ms.dynamicPower;
+        mem_total += ms.totalPower;
+    }
+    _fitter.observeMemory(
+        _simCfg.memLadder.at(_system.memFreqIndex()) / mem_fmax,
+        mem_dyn);
+    const FittedModel mm = _fitter.memory();
+    in.memory.pm = mm.scale;
+    in.memory.beta = mm.exponent;
+    in.memory.pStatic = _simCfg.memPower.staticPower;
+    in.memory.measuredPower = mem_total;
+
+    in.accessProbs.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        in.accessProbs[i] =
+            _system.accessProbabilities(static_cast<int>(i));
+
+    return in;
+}
+
+void
+ExperimentRunner::applyDecision(const PolicyDecision &dec,
+                                bool &core_changed, bool &mem_changed)
+{
+    if (dec.coreFreqIdx.size() !=
+        static_cast<std::size_t>(_simCfg.numCores))
+        panic("applyDecision: %zu core indices for %d cores",
+              dec.coreFreqIdx.size(), _simCfg.numCores);
+
+    core_changed = false;
+    for (int i = 0; i < _simCfg.numCores; ++i) {
+        const std::size_t idx = dec.coreFreqIdx[
+            static_cast<std::size_t>(i)];
+        if (idx != _system.coreFreqIndex(i)) {
+            core_changed = true;
+            _system.coreFreqIndex(i, idx);
+        }
+    }
+    mem_changed = dec.memFreqIdx != _system.memFreqIndex();
+    if (mem_changed)
+        _system.memFreqIndex(dec.memFreqIdx);
+}
+
+void
+ExperimentRunner::recordCompletions(
+    Seconds epoch_start, const std::vector<double> &instr_before,
+    const std::vector<double> &instr_after)
+{
+    for (std::size_t i = 0; i < _apps.size(); ++i) {
+        AppResult &a = _apps[i];
+        if (a.completed)
+            continue;
+        if (instr_after[i] >= _cfg.targetInstructions) {
+            // Interpolate the crossing within the epoch.
+            const double gained = instr_after[i] - instr_before[i];
+            const double need =
+                _cfg.targetInstructions - instr_before[i];
+            const double frac =
+                (gained > 0.0) ? std::clamp(need / gained, 0.0, 1.0)
+                               : 1.0;
+            a.completed = true;
+            a.completionTime =
+                epoch_start + frac * _simCfg.epochLength;
+            a.tpi = a.completionTime / _cfg.targetInstructions;
+        }
+    }
+}
+
+EpochRecord
+ExperimentRunner::step()
+{
+    const int n = _simCfg.numCores;
+    const Seconds epoch_start =
+        static_cast<double>(_epoch) * _simCfg.epochLength;
+
+    std::vector<double> instr_before(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        instr_before[static_cast<std::size_t>(i)] =
+            _system.instructionsRetired(i);
+
+    // 1. Profiling window at incumbent frequencies.
+    const WindowStats w1 = _system.runWindow(_simCfg.profileWindow);
+
+    // 2-3. Inputs, decision, actuation.
+    _inputs = buildInputs(w1);
+    const PolicyDecision dec = _policy.decide(_inputs);
+    bool core_changed = false;
+    bool mem_changed = false;
+    applyDecision(dec, core_changed, mem_changed);
+
+    // 4. Execution window at the new operating point.
+    const WindowStats w2 = _system.runWindow(_simCfg.execWindow);
+
+    // 5. Extrapolate the execution window across the remainder of
+    // the epoch, net of DVFS transition stalls.
+    const Seconds overhead =
+        (core_changed ? _simCfg.coreTransitionTime : 0.0) +
+        (mem_changed ? _simCfg.memTransitionTime : 0.0);
+    const Seconds represented =
+        std::max(_simCfg.epochLength - _simCfg.profileWindow - overhead,
+                 _simCfg.execWindow);
+    const double scale = represented / _simCfg.execWindow;
+
+    EpochRecord rec;
+    rec.epoch = _epoch;
+    rec.startTime = epoch_start;
+    rec.budget = budget();
+    rec.memFreqIdx = _system.memFreqIndex();
+    rec.evaluations = dec.evaluations;
+    rec.coreFreqIdx.resize(static_cast<std::size_t>(n));
+    rec.ips.resize(static_cast<std::size_t>(n));
+
+    std::vector<double> instr_after(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const double w2_instr =
+            static_cast<double>(w2.cores[ui].counters.instructions);
+        const double credit = w2_instr * (scale - 1.0);
+        _system.creditInstructions(i, credit);
+        instr_after[ui] = _system.instructionsRetired(i);
+        rec.coreFreqIdx[ui] = _system.coreFreqIndex(i);
+        rec.ips[ui] = (instr_after[ui] - instr_before[ui]) /
+            _simCfg.epochLength;
+    }
+
+    // Epoch-average power: window 1 covers the profiling phase,
+    // window 2 represents the rest.
+    const Seconds t1 = _simCfg.profileWindow;
+    const Seconds t2 = _simCfg.epochLength - t1;
+    const double wsum = t1 + t2;
+    rec.corePower =
+        (w1.corePowerTotal() * t1 + w2.corePowerTotal() * t2) / wsum;
+    rec.memPower =
+        (w1.memPowerTotal() * t1 + w2.memPowerTotal() * t2) / wsum;
+    rec.totalPower = (w1.totalPower() * t1 + w2.totalPower() * t2) /
+        wsum;
+
+    recordCompletions(epoch_start, instr_before, instr_after);
+    ++_epoch;
+    _epochLog.push_back(rec);
+    return rec;
+}
+
+ExperimentResult
+ExperimentRunner::run()
+{
+    while (!done() && _epoch < _cfg.maxEpochs)
+        step();
+
+    if (!done())
+        warn("ExperimentRunner: maxEpochs (%d) reached before all "
+             "applications completed", _cfg.maxEpochs);
+
+    ExperimentResult res;
+    res.policy = _policy.name();
+    res.peakPower = _peakPower;
+    res.budget = budget();
+    res.budgetFraction = _cfg.budgetFraction;
+    res.epochs = _epochLog;
+    res.apps = _apps;
+    return res;
+}
+
+ExperimentResult
+runWorkload(const std::string &workload,
+            const std::string &policy_name, const ExperimentConfig &cfg,
+            const SimConfig &sim_cfg)
+{
+    auto policy = makePolicy(policy_name);
+    ExperimentRunner runner(
+        sim_cfg, workloads::mix(workload, sim_cfg.numCores), *policy,
+        cfg);
+    ExperimentResult res = runner.run();
+    res.workload = workload;
+    return res;
+}
+
+} // namespace fastcap

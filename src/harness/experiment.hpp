@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Experiment runner: composes the simulated system, the online model
+ * fitter and a capping policy into the paper's epoch loop
+ * (Section III-C):
+ *
+ *   1. profile window at the incumbent frequencies (counters, power)
+ *   2. build policy inputs (Eq. 9 for z̄_i, MemScale counters for
+ *      Q/U/s_m, power-law fits for Eq. 2/3 parameters)
+ *   3. policy decides; frequencies are applied with transition costs
+ *   4. execution window at the new frequencies
+ *   5. extrapolate both windows over the epoch (DESIGN.md section 5)
+ *
+ * The run ends when the slowest application reaches its instruction
+ * target (the paper's termination rule) or at maxEpochs.
+ */
+
+#ifndef FASTCAP_HARNESS_EXPERIMENT_HPP
+#define FASTCAP_HARNESS_EXPERIMENT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/inputs.hpp"
+#include "core/model_fitter.hpp"
+#include "core/policy.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Experiment-level knobs (on top of SimConfig). */
+struct ExperimentConfig
+{
+    /** Budget fraction B in Eq. 6: budget = B * peak. */
+    double budgetFraction = 0.6;
+    /** Instructions each application must retire (paper: 100M). */
+    double targetInstructions = 100e6;
+    /** Hard stop in epochs (guards runaway configurations). */
+    int maxEpochs = 1000;
+    /** Explicit peak power P̄ (0 = determine automatically). */
+    Watts peakPowerOverride = 0.0;
+    /**
+     * Determine P̄ by measurement (run the power-hungriest workloads
+     * at max frequency, as the paper does) rather than nameplate.
+     */
+    bool measurePeak = true;
+    /**
+     * Force a linear (exponent-1) online power model, reproducing
+     * the Freq-Par-style modeling error inside FastCap. Used by the
+     * `bench_ablation_fit` design study; leave false otherwise.
+     */
+    bool linearPowerModel = false;
+};
+
+/** Per-epoch record for time-series figures. */
+struct EpochRecord
+{
+    int epoch = 0;
+    Seconds startTime = 0.0;    //!< virtual time at epoch start
+    Watts corePower = 0.0;      //!< epoch-average core power
+    Watts memPower = 0.0;       //!< epoch-average memory power
+    Watts totalPower = 0.0;     //!< epoch-average full-system power
+    Watts budget = 0.0;
+    std::vector<std::size_t> coreFreqIdx;
+    std::size_t memFreqIdx = 0;
+    std::vector<double> ips;    //!< per-core instruction rate
+    int evaluations = 0;        //!< policy inner-solve count
+};
+
+/** Per-application outcome. */
+struct AppResult
+{
+    std::string app;
+    int core = -1;
+    bool completed = false;
+    /** Virtual time at which the instruction target was reached. */
+    Seconds completionTime = 0.0;
+    /** Time per instruction over the target window (the CPI proxy). */
+    Seconds tpi = 0.0;
+};
+
+/** Full experiment outcome. */
+struct ExperimentResult
+{
+    std::string workload;
+    std::string policy;
+    Watts peakPower = 0.0;
+    Watts budget = 0.0;
+    double budgetFraction = 0.0;
+    std::vector<EpochRecord> epochs;
+    std::vector<AppResult> apps;
+
+    /** Run-average full-system power. */
+    Watts averagePower() const;
+    /** Highest epoch-average power of the run. */
+    Watts maxEpochPower() const;
+    /** averagePower normalized to the peak. */
+    double averagePowerFraction() const;
+    /** maxEpochPower normalized to the peak. */
+    double maxEpochPowerFraction() const;
+    /** True if every application completed. */
+    bool allCompleted() const;
+};
+
+/**
+ * Drives one (system, policy, workload) experiment.
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param sim_cfg simulated-system configuration
+     * @param apps    one application per core
+     * @param policy  capping policy (owned by the caller)
+     * @param cfg     experiment knobs
+     */
+    ExperimentRunner(SimConfig sim_cfg, std::vector<AppProfile> apps,
+                     CappingPolicy &policy, ExperimentConfig cfg);
+
+    /** Run to completion and return the result. */
+    ExperimentResult run();
+
+    /** Advance a single epoch (for interactive examples). */
+    EpochRecord step();
+
+    /** True once every application reached its target. */
+    bool done() const;
+
+    /** Change the budget fraction mid-run (power-shifting demos). */
+    void budgetFraction(double fraction);
+    double budgetFraction() const { return _cfg.budgetFraction; }
+
+    const ManyCoreSystem &system() const { return _system; }
+    Watts peakPower() const { return _peakPower; }
+    Watts budget() const;
+
+    /** Inputs built from the most recent profiling window. */
+    const PolicyInputs &lastInputs() const { return _inputs; }
+
+  private:
+    PolicyInputs buildInputs(const WindowStats &w);
+    void applyDecision(const PolicyDecision &dec, bool &core_changed,
+                       bool &mem_changed);
+    void recordCompletions(Seconds epoch_start,
+                           const std::vector<double> &instr_before,
+                           const std::vector<double> &instr_after);
+
+    SimConfig _simCfg;
+    ManyCoreSystem _system;
+    CappingPolicy &_policy;
+    ExperimentConfig _cfg;
+    ModelFitter _fitter;
+    PolicyInputs _inputs;
+    Watts _peakPower = 0.0;
+    int _epoch = 0;
+    std::vector<AppResult> _apps;
+    std::vector<EpochRecord> _epochLog;
+    /** Last good z̄/ipa per core (fallback for miss-free windows). */
+    std::vector<Seconds> _lastZbar;
+    std::vector<double> _lastIpa;
+    /** Smoothed per-controller queue statistics (see buildInputs). */
+    std::vector<Ewma> _qSmooth;
+    std::vector<Ewma> _uSmooth;
+    std::vector<Ewma> _rateSmooth;
+};
+
+/**
+ * Convenience: run one Table III workload under a policy (by registry
+ * name) on the given system configuration.
+ */
+ExperimentResult runWorkload(const std::string &workload,
+                             const std::string &policy_name,
+                             const ExperimentConfig &cfg,
+                             const SimConfig &sim_cfg);
+
+} // namespace fastcap
+
+#endif // FASTCAP_HARNESS_EXPERIMENT_HPP

@@ -1,0 +1,109 @@
+#include "harness/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+PerfComparison
+comparePerformance(const ExperimentResult &capped,
+                   const ExperimentResult &baseline)
+{
+    if (capped.apps.size() != baseline.apps.size())
+        fatal("comparePerformance: app count mismatch (%zu vs %zu)",
+              capped.apps.size(), baseline.apps.size());
+
+    PerfComparison cmp;
+    cmp.perApp.reserve(capped.apps.size());
+    for (std::size_t i = 0; i < capped.apps.size(); ++i) {
+        const AppResult &c = capped.apps[i];
+        const AppResult &b = baseline.apps[i];
+        if (!c.completed || !b.completed) {
+            warn("comparePerformance: app %s did not complete; "
+                 "skipping", c.app.c_str());
+            continue;
+        }
+        if (b.tpi <= 0.0)
+            fatal("comparePerformance: degenerate baseline TPI");
+        cmp.perApp.push_back(c.tpi / b.tpi);
+    }
+    if (cmp.perApp.empty())
+        fatal("comparePerformance: no completed applications");
+
+    double sum = 0.0;
+    double worst = 0.0;
+    for (double v : cmp.perApp) {
+        sum += v;
+        worst = std::max(worst, v);
+    }
+    cmp.average = sum / static_cast<double>(cmp.perApp.size());
+    cmp.worst = worst;
+    cmp.unfairness = (cmp.average > 0.0) ? cmp.worst / cmp.average
+                                         : 1.0;
+    return cmp;
+}
+
+PerfComparison
+mergeComparisons(const std::vector<PerfComparison> &parts)
+{
+    PerfComparison all;
+    for (const PerfComparison &p : parts)
+        all.perApp.insert(all.perApp.end(), p.perApp.begin(),
+                          p.perApp.end());
+    if (all.perApp.empty())
+        fatal("mergeComparisons: nothing to merge");
+
+    double sum = 0.0;
+    double worst = 0.0;
+    for (double v : all.perApp) {
+        sum += v;
+        worst = std::max(worst, v);
+    }
+    all.average = sum / static_cast<double>(all.perApp.size());
+    all.worst = worst;
+    all.unfairness = (all.average > 0.0) ? all.worst / all.average
+                                         : 1.0;
+    return all;
+}
+
+PowerSummary
+summarizePower(const ExperimentResult &result)
+{
+    PowerSummary s;
+    s.avgFraction = result.averagePowerFraction();
+    s.maxFraction = result.maxEpochPowerFraction();
+    s.budgetFraction = result.budgetFraction;
+
+    if (result.epochs.empty())
+        return s;
+
+    std::size_t over = 0;
+    double worst = 0.0;
+    for (const EpochRecord &e : result.epochs) {
+        if (e.totalPower > e.budget) {
+            ++over;
+            worst = std::max(worst,
+                             (e.totalPower - e.budget) / e.budget);
+        }
+    }
+    s.overshootShare =
+        static_cast<double>(over) /
+        static_cast<double>(result.epochs.size());
+    s.worstOvershoot = worst;
+    return s;
+}
+
+double
+budgetTrackingError(const ExperimentResult &result)
+{
+    if (result.epochs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const EpochRecord &e : result.epochs)
+        acc += std::abs(e.totalPower - e.budget) / e.budget;
+    return acc / static_cast<double>(result.epochs.size());
+}
+
+} // namespace fastcap

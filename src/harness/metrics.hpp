@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Performance/fairness metrics over experiment results, mirroring the
+ * paper's reporting: per-application CPI normalized to the uncapped
+ * (max-frequency) baseline, class-level average and worst values, and
+ * power tracking statistics.
+ */
+
+#ifndef FASTCAP_HARNESS_METRICS_HPP
+#define FASTCAP_HARNESS_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace fastcap {
+
+/**
+ * Normalized per-application performance of a capped run against its
+ * uncapped baseline. Values are normalized CPI (>= 1 means slower
+ * than uncapped); Figure 6's y-axis.
+ */
+struct PerfComparison
+{
+    std::vector<double> perApp; //!< normalized CPI per core
+    double average = 0.0;       //!< mean over applications
+    double worst = 0.0;         //!< maximum over applications
+    /**
+     * Unfairness: worst / average. 1 means perfectly even
+     * degradation; FastCap's design goal is to keep this near 1.
+     */
+    double unfairness = 1.0;
+};
+
+/**
+ * Compare a capped run to its baseline (same workload and system).
+ * Both runs must have completed all applications.
+ */
+PerfComparison comparePerformance(const ExperimentResult &capped,
+                                  const ExperimentResult &baseline);
+
+/** Merge comparisons (e.g., the four workloads of a class). */
+PerfComparison mergeComparisons(
+    const std::vector<PerfComparison> &parts);
+
+/** Power-tracking summary of one run. */
+struct PowerSummary
+{
+    double avgFraction = 0.0;  //!< average power / peak
+    double maxFraction = 0.0;  //!< max epoch power / peak
+    double budgetFraction = 0.0;
+    /** Fraction of epochs whose average power exceeded the budget. */
+    double overshootShare = 0.0;
+    /** Largest relative overshoot among overshooting epochs. */
+    double worstOvershoot = 0.0;
+};
+
+PowerSummary summarizePower(const ExperimentResult &result);
+
+/** Mean |power - budget| / budget over epochs (tracking error). */
+double budgetTrackingError(const ExperimentResult &result);
+
+} // namespace fastcap
+
+#endif // FASTCAP_HARNESS_METRICS_HPP

@@ -1,0 +1,79 @@
+#include "harness/peak_power.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "sim/system.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+
+namespace {
+
+/** Cache key over the configuration fields that influence power. */
+std::string
+cacheKey(const SimConfig &cfg)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%d mode=%d ctrl=%d banks=%d burst=%.4f "
+                  "cdyn=%.3f cst=%.3f sf=%.3f ae=%.3g if=%.3f mc=%.3f "
+                  "mst=%.3f bg=%.3f il=%d",
+                  cfg.numCores, static_cast<int>(cfg.execMode),
+                  cfg.numControllers, cfg.banksPerController,
+                  cfg.busBurstCycles, cfg.corePower.dynMax,
+                  cfg.corePower.staticPower, cfg.corePower.stallFactor,
+                  cfg.memPower.accessEnergy, cfg.memPower.interfaceMax,
+                  cfg.memPower.mcMax, cfg.memPower.staticPower,
+                  cfg.backgroundPower, static_cast<int>(cfg.interleave));
+    return std::string(buf);
+}
+
+std::map<std::string, Watts> &
+cache()
+{
+    static std::map<std::string, Watts> c;
+    return c;
+}
+
+} // namespace
+
+Watts
+measuredPeakPower(const SimConfig &cfg, int epochs)
+{
+    const std::string key = cacheKey(cfg);
+    auto it = cache().find(key);
+    if (it != cache().end())
+        return it->second;
+
+    Watts peak = 0.0;
+    // The compute-bound mixes draw the highest power; measuring the
+    // ILP class at max frequency gives the observed peak.
+    for (const std::string &wl : workloads::workloadsOfClass("ILP")) {
+        ManyCoreSystem system(cfg, workloads::mix(wl, cfg.numCores));
+        system.maxFrequencies();
+        for (int e = 0; e < epochs; ++e) {
+            // Sampled window per epoch, mirroring the runner.
+            const WindowStats w = system.runWindow(cfg.profileWindow);
+            peak = std::max(peak, w.totalPower());
+        }
+    }
+
+    if (peak <= 0.0)
+        panic("measuredPeakPower: non-positive peak");
+    inform("measured peak power for %d cores: %.1f W", cfg.numCores,
+           peak);
+    cache().emplace(key, peak);
+    return peak;
+}
+
+void
+clearPeakPowerCache()
+{
+    cache().clear();
+}
+
+} // namespace fastcap

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Measured peak power, following the paper's procedure: "We first run
+ * all workloads under the maximum frequencies to observe the peak
+ * power the system ever consumed" (Section IV-B). The budget fraction
+ * B multiplies this observed peak, not the nameplate.
+ *
+ * The ILP workloads dominate the peak (busy, high-activity cores), so
+ * the measurement runs those at maximum frequencies and takes the
+ * highest epoch power. Results are memoized per configuration: every
+ * bench sharing a configuration reuses the same P̄.
+ */
+
+#ifndef FASTCAP_HARNESS_PEAK_POWER_HPP
+#define FASTCAP_HARNESS_PEAK_POWER_HPP
+
+#include "sim/config.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Observed peak full-system power for a configuration.
+ *
+ * @param cfg    system configuration (frequencies forced to max)
+ * @param epochs measurement epochs per workload
+ */
+Watts measuredPeakPower(const SimConfig &cfg, int epochs = 3);
+
+/** Drop the memoization cache (tests only). */
+void clearPeakPowerCache();
+
+} // namespace fastcap
+
+#endif // FASTCAP_HARNESS_PEAK_POWER_HPP

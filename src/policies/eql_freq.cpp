@@ -1,0 +1,69 @@
+#include "policies/eql_freq.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/queuing_model.hpp"
+
+namespace fastcap {
+
+PolicyDecision
+EqlFreqPolicy::decide(const PolicyInputs &inputs)
+{
+    const QueuingModel queuing(inputs);
+    const std::size_t n = inputs.numCores();
+
+    PolicyDecision best;
+    best.coreFreqIdx.assign(n, 0);
+    best.memFreqIdx = 0;
+    double best_d = -std::numeric_limits<double>::infinity();
+    bool any_feasible = false;
+    int evaluations = 0;
+
+    // Share FastCap's saturation guard (the policies are "extended
+    // with FastCap's ability to manage memory power", Section IV-B).
+    const std::size_t mi_floor = minMemIndexForUtilisation(inputs);
+
+    for (std::size_t mi = mi_floor; mi < inputs.memRatios.size();
+         ++mi) {
+        const double x_b = inputs.memRatios[mi];
+        const Watts mem_power = inputs.memory.pm *
+            std::pow(x_b, inputs.memory.beta);
+        for (std::size_t fi = 0; fi < inputs.coreRatios.size(); ++fi) {
+            ++evaluations;
+            const double x = inputs.coreRatios[fi];
+
+            Watts total = inputs.staticPower() + mem_power;
+            for (const CoreModel &c : inputs.cores)
+                total += c.pi * std::pow(x, c.alpha);
+
+            const bool feasible = total <= inputs.budget;
+            // Track the best feasible point; if nothing fits the
+            // budget, fall back to the lowest-power point.
+            double d = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < n; ++i)
+                d = std::min(d, queuing.performance(i, x, x_b));
+
+            const bool better = feasible
+                ? (!any_feasible || d > best_d)
+                : (!any_feasible && best.predictedPower == 0.0);
+            if (feasible && better) {
+                any_feasible = true;
+                best_d = d;
+                best.coreFreqIdx.assign(n, fi);
+                best.memFreqIdx = mi;
+                best.predictedPower = total;
+            } else if (!any_feasible && (best.predictedPower == 0.0 ||
+                                         total < best.predictedPower)) {
+                best.coreFreqIdx.assign(n, fi);
+                best.memFreqIdx = mi;
+                best.predictedPower = total;
+            }
+        }
+    }
+
+    best.evaluations = evaluations;
+    return best;
+}
+
+} // namespace fastcap

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Eql-Freq baseline (Herbert & Marculescu [42], extended with memory
+ * DVFS): all cores share one frequency; the (core level, memory
+ * level) pair maximizing D within the budget is chosen by exhaustive
+ * search over F x M pairs.
+ */
+
+#ifndef FASTCAP_POLICIES_EQL_FREQ_HPP
+#define FASTCAP_POLICIES_EQL_FREQ_HPP
+
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace fastcap {
+
+/**
+ * Single-global-frequency capping policy.
+ *
+ * Locking all cores together is conservative: raising everyone to the
+ * next level may violate the budget, so mixed workloads on many cores
+ * leave budget unharvested (Figure 10 of the paper).
+ */
+class EqlFreqPolicy : public CappingPolicy
+{
+  public:
+    std::string name() const override { return "Eql-Freq"; }
+
+    PolicyDecision decide(const PolicyInputs &inputs) override;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_POLICIES_EQL_FREQ_HPP

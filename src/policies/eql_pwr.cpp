@@ -1,0 +1,86 @@
+#include "policies/eql_pwr.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/queuing_model.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+PolicyDecision
+EqlPwrPolicy::decide(const PolicyInputs &inputs)
+{
+    const QueuingModel queuing(inputs);
+    const std::size_t n = inputs.numCores();
+    const std::size_t m = inputs.numMemLevels();
+
+    PolicyDecision best;
+    double best_d = -std::numeric_limits<double>::infinity();
+    bool best_feasible = false;
+    Watts best_infeasible_power =
+        std::numeric_limits<double>::infinity();
+    int evaluations = 0;
+
+    // Share FastCap's saturation guard (the policies are "extended
+    // with FastCap's ability to manage memory power", Section IV-B).
+    const std::size_t mi_floor = minMemIndexForUtilisation(inputs);
+
+    for (std::size_t mi = mi_floor; mi < m; ++mi) {
+        const double x_b = inputs.memRatios[mi];
+        ++evaluations;
+
+        // Core budget: what remains after memory and background.
+        const Watts mem_power = inputs.memory.pm *
+            std::pow(x_b, inputs.memory.beta) + inputs.memory.pStatic;
+        const Watts core_budget =
+            inputs.budget - mem_power - inputs.background;
+        const Watts share = core_budget / static_cast<double>(n);
+
+        // Each core independently: highest frequency within its share.
+        std::vector<std::size_t> idx(n, 0);
+        double d = std::numeric_limits<double>::infinity();
+        Watts total = mem_power + inputs.background;
+        for (std::size_t i = 0; i < n; ++i) {
+            const CoreModel &c = inputs.cores[i];
+            std::size_t pick = 0;
+            for (std::size_t f = inputs.coreRatios.size(); f-- > 0;) {
+                const Watts p = c.pi *
+                    std::pow(inputs.coreRatios[f], c.alpha) + c.pStatic;
+                if (p <= share) {
+                    pick = f;
+                    break;
+                }
+                // Even the lowest level may exceed the share; the
+                // core must still run, so pick index 0.
+            }
+            idx[i] = pick;
+            const double x_i = inputs.coreRatios[pick];
+            total += c.pi * std::pow(x_i, c.alpha) + c.pStatic;
+            d = std::min(d, queuing.performance(i, x_i, x_b));
+        }
+
+        // Memory levels whose floor already violates the budget are
+        // only acceptable if no level fits; then prefer least power.
+        const bool feasible = total <= inputs.budget * (1.0 + 1e-9);
+        if (feasible) {
+            if (!best_feasible || d > best_d) {
+                best_feasible = true;
+                best_d = d;
+                best.coreFreqIdx = std::move(idx);
+                best.memFreqIdx = mi;
+                best.predictedPower = total;
+            }
+        } else if (!best_feasible && total < best_infeasible_power) {
+            best_infeasible_power = total;
+            best.coreFreqIdx = std::move(idx);
+            best.memFreqIdx = mi;
+            best.predictedPower = total;
+        }
+    }
+
+    best.evaluations = evaluations;
+    return best;
+}
+
+} // namespace fastcap

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Eql-Pwr baseline (Sharkey et al. [16], extended with memory DVFS as
+ * in Section IV-B): every core receives an equal share of the core
+ * power budget; each core then runs as fast as its share allows. The
+ * memory level is chosen by scanning all M levels for the best D.
+ */
+
+#ifndef FASTCAP_POLICIES_EQL_PWR_HPP
+#define FASTCAP_POLICIES_EQL_PWR_HPP
+
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace fastcap {
+
+/**
+ * Equal-power-share capping policy.
+ *
+ * Ignores application heterogeneity: memory-bound cores cannot use
+ * their full share while power-hungry cores are starved — the outlier
+ * behaviour Figure 9 of the paper demonstrates.
+ */
+class EqlPwrPolicy : public CappingPolicy
+{
+  public:
+    std::string name() const override { return "Eql-Pwr"; }
+
+    PolicyDecision decide(const PolicyInputs &inputs) override;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_POLICIES_EQL_PWR_HPP

@@ -1,0 +1,141 @@
+#include "policies/freq_par.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+void
+FreqParPolicy::reset()
+{
+    _quota = -1.0;
+    _wattsPerRatio = -1.0;
+    _prevCorePower = -1.0;
+    _prevQuota = -1.0;
+}
+
+PolicyDecision
+FreqParPolicy::decide(const PolicyInputs &inputs)
+{
+    const std::size_t n = inputs.numCores();
+    const double r_min = inputs.minCoreRatio();
+    const double quota_min = r_min * static_cast<double>(n);
+    const double quota_max = static_cast<double>(n);
+
+    // Measured powers from the profiling window.
+    double core_power = 0.0;
+    double total_power = inputs.background + inputs.memory.measuredPower;
+    for (const CoreModel &c : inputs.cores) {
+        core_power += c.measuredPower;
+        total_power += c.measuredPower;
+    }
+
+    if (_quota < 0.0) {
+        // First epoch: start from the full quota.
+        _quota = quota_max;
+    }
+
+    // Linear power-frequency model through the origin: P = k * r —
+    // exactly the linearity assumption of [22] that the paper
+    // criticises. Real core power is ~cubic in frequency, so k
+    // underestimates the local slope at high frequencies and
+    // overestimates it at low ones, producing the over/under-
+    // correction (power oscillation) of Section IV-B.
+    _wattsPerRatio = core_power / std::max(_quota, 1e-9);
+
+    _prevQuota = _quota;
+    _prevCorePower = core_power;
+
+    // Feedback: convert the power error to a quota correction via
+    // the linear model.
+    const double error = inputs.budget - total_power;
+    _quota += _gain * error / _wattsPerRatio;
+    _quota = std::clamp(_quota, quota_min, quota_max);
+
+    // Efficiency-proportional allocation: cores with better
+    // BIPS-per-watt receive a larger frequency share.
+    std::vector<double> weight(n, 1.0);
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreModel &c = inputs.cores[i];
+        weight[i] = (c.measuredPower > 1e-6)
+            ? c.measuredIps / c.measuredPower
+            : 1.0;
+        weight_sum += weight[i];
+    }
+
+    // Water-fill the quota: ratios clamp to [r_min, 1]; excess from
+    // saturated cores redistributes over the rest. Allocations within
+    // a pass are computed from the pass-start snapshot of the
+    // remaining quota, then clamped cores are removed and the pass
+    // repeats over the free set.
+    std::vector<double> ratio(n, r_min);
+    std::vector<bool> fixed(n, false);
+    double remaining = _quota;
+    for (int pass = 0; pass < static_cast<int>(n) + 1; ++pass) {
+        double wsum = 0.0;
+        std::size_t free_cores = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!fixed[i]) {
+                wsum += weight[i];
+                ++free_cores;
+            }
+        }
+        if (free_cores == 0 || wsum <= 0.0)
+            break;
+
+        bool clamped = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (fixed[i])
+                continue;
+            const double r = remaining * weight[i] / wsum;
+            if (r >= 1.0) {
+                ratio[i] = 1.0;
+                fixed[i] = true;
+                clamped = true;
+            } else if (r <= r_min) {
+                ratio[i] = r_min;
+                fixed[i] = true;
+                clamped = true;
+            } else {
+                ratio[i] = r;
+            }
+        }
+        if (!clamped)
+            break;
+        // Recompute the quota left for the still-free cores.
+        remaining = _quota;
+        for (std::size_t i = 0; i < n; ++i)
+            if (fixed[i])
+                remaining -= ratio[i];
+        remaining = std::max(remaining, 0.0);
+    }
+
+    PolicyDecision dec;
+    dec.coreFreqIdx.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Snap to the closest ladder ratio.
+        std::size_t best = 0;
+        double best_d = std::abs(inputs.coreRatios[0] - ratio[i]);
+        for (std::size_t fi = 1; fi < inputs.coreRatios.size(); ++fi) {
+            const double d = std::abs(inputs.coreRatios[fi] - ratio[i]);
+            if (d <= best_d) {
+                best_d = d;
+                best = fi;
+            }
+        }
+        dec.coreFreqIdx.push_back(best);
+    }
+    dec.memFreqIdx = inputs.memRatios.size() - 1;
+    dec.evaluations = 1;
+
+    // Linear-model power prediction (knowingly crude).
+    dec.predictedPower = total_power + _wattsPerRatio *
+        (std::accumulate(ratio.begin(), ratio.end(), 0.0) - _prevQuota);
+    return dec;
+}
+
+} // namespace fastcap

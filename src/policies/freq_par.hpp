@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Freq-Par baseline (Ma et al. [22]): control-theoretic capping. A
+ * linear feedback loop adjusts a chip-wide frequency quota from the
+ * power error each epoch; the quota is divided among cores in
+ * proportion to their measured power efficiency. The memory stays at
+ * maximum frequency (the original work has no memory DVFS).
+ *
+ * The policy deliberately retains the linear power-frequency model
+ * of the original: the paper's point is that its inaccuracy (real
+ * core power is ~cubic in frequency) causes over/under-correction
+ * and power oscillation, and that efficiency-proportional allocation
+ * is unfair to inefficient applications.
+ */
+
+#ifndef FASTCAP_POLICIES_FREQ_PAR_HPP
+#define FASTCAP_POLICIES_FREQ_PAR_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace fastcap {
+
+/**
+ * Frequency-partitioning feedback policy.
+ */
+class FreqParPolicy : public CappingPolicy
+{
+  public:
+    /**
+     * @param gain feedback gain on the power error (loop stability
+     *             vs responsiveness trade-off)
+     */
+    explicit FreqParPolicy(double gain = 0.8) : _gain(gain) {}
+
+    std::string name() const override { return "Freq-Par"; }
+    bool usesMemoryDvfs() const override { return false; }
+
+    PolicyDecision decide(const PolicyInputs &inputs) override;
+
+    void reset() override;
+
+  private:
+    double _gain;
+    /** Chip-wide frequency quota in ratio units (sum of ratios). */
+    double _quota = -1.0;
+    /** Linear-model slope estimate: watts per unit total ratio. */
+    double _wattsPerRatio = -1.0;
+    /** Previous epoch's measured core power and quota. */
+    double _prevCorePower = -1.0;
+    double _prevQuota = -1.0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_POLICIES_FREQ_PAR_HPP

@@ -1,0 +1,100 @@
+#include "policies/max_bips.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/queuing_model.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+PolicyDecision
+MaxBipsPolicy::decide(const PolicyInputs &inputs)
+{
+    const std::size_t n = inputs.numCores();
+    const std::size_t f = inputs.coreRatios.size();
+    if (n > _maxCores)
+        fatal("MaxBIPS: exhaustive search over %zu^%zu combinations "
+              "refused (limit %zu cores); the complexity wall this "
+              "policy illustrates", f, n, _maxCores);
+
+    const QueuingModel queuing(inputs);
+
+    // Precompute per-core power at every level (loop invariant).
+    std::vector<std::vector<Watts>> core_power(
+        n, std::vector<Watts>(f, 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t fi = 0; fi < f; ++fi)
+            core_power[i][fi] = inputs.cores[i].pi *
+                std::pow(inputs.coreRatios[fi], inputs.cores[i].alpha);
+
+    PolicyDecision best;
+    best.coreFreqIdx.assign(n, 0);
+    double best_bips = -std::numeric_limits<double>::infinity();
+    Watts best_power_if_infeasible =
+        std::numeric_limits<double>::infinity();
+    bool any_feasible = false;
+    int evaluations = 0;
+
+    // Share FastCap's saturation guard (Section IV-B extension).
+    const std::size_t mi_floor = minMemIndexForUtilisation(inputs);
+
+    std::vector<std::size_t> combo(n, 0);
+    for (std::size_t mi = mi_floor; mi < inputs.memRatios.size();
+         ++mi) {
+        const double x_b = inputs.memRatios[mi];
+        const Watts mem_power = inputs.memory.pm *
+            std::pow(x_b, inputs.memory.beta);
+
+        // Per-core response times are combo-invariant at fixed x_b.
+        std::vector<Seconds> resp(n);
+        for (std::size_t i = 0; i < n; ++i)
+            resp[i] = queuing.responseTime(i, x_b);
+
+        std::fill(combo.begin(), combo.end(), 0);
+        while (true) {
+            ++evaluations;
+            Watts total = inputs.staticPower() + mem_power;
+            double bips = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const CoreModel &c = inputs.cores[i];
+                const double x_i = inputs.coreRatios[combo[i]];
+                total += core_power[i][combo[i]];
+                bips += c.ipa / (c.zbar / x_i + c.cache + resp[i]);
+            }
+
+            if (total <= inputs.budget) {
+                if (!any_feasible || bips > best_bips) {
+                    any_feasible = true;
+                    best_bips = bips;
+                    best.coreFreqIdx = combo;
+                    best.memFreqIdx = mi;
+                    best.predictedPower = total;
+                }
+            } else if (!any_feasible &&
+                       total < best_power_if_infeasible) {
+                best_power_if_infeasible = total;
+                best.coreFreqIdx = combo;
+                best.memFreqIdx = mi;
+                best.predictedPower = total;
+            }
+
+            // Odometer increment over the F^N combination space.
+            std::size_t pos = 0;
+            while (pos < n) {
+                if (++combo[pos] < f)
+                    break;
+                combo[pos] = 0;
+                ++pos;
+            }
+            if (pos == n)
+                break;
+        }
+    }
+
+    best.evaluations = evaluations;
+    return best;
+}
+
+} // namespace fastcap

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * MaxBIPS baseline (Isci et al. [14], extended with memory DVFS):
+ * exhaustive search over all F^N x M frequency combinations for the
+ * one maximizing total predicted instruction throughput under the
+ * budget. Exponential in N — the paper (and we) only run it at N = 4.
+ */
+
+#ifndef FASTCAP_POLICIES_MAX_BIPS_HPP
+#define FASTCAP_POLICIES_MAX_BIPS_HPP
+
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace fastcap {
+
+/**
+ * Throughput-maximizing exhaustive-search policy.
+ *
+ * Maximizing aggregate BIPS favours power-efficient applications and
+ * starves the rest — the unfairness Figure 11 of the paper shows.
+ */
+class MaxBipsPolicy : public CappingPolicy
+{
+  public:
+    /** @param max_cores guard against accidental exponential runs. */
+    explicit MaxBipsPolicy(std::size_t max_cores = 8)
+        : _maxCores(max_cores)
+    {}
+
+    std::string name() const override { return "MaxBIPS"; }
+
+    PolicyDecision decide(const PolicyInputs &inputs) override;
+
+  private:
+    std::size_t _maxCores;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_POLICIES_MAX_BIPS_HPP

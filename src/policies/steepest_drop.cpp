@@ -1,0 +1,145 @@
+#include "policies/steepest_drop.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/queuing_model.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+namespace {
+
+/** A candidate one-level-down move for one component. */
+struct Move
+{
+    /** Core index, or -1 for the memory subsystem. */
+    int component = -1;
+    /** Power saved per unit of performance lost (bigger = better). */
+    double efficiency = 0.0;
+    /** Epoch stamp of the memory level when scored (staleness). */
+    std::size_t scoredAtMemLevel = 0;
+
+    bool
+    operator<(const Move &other) const
+    {
+        return efficiency < other.efficiency; // max-heap
+    }
+};
+
+} // namespace
+
+PolicyDecision
+SteepestDropPolicy::decide(const PolicyInputs &inputs)
+{
+    const QueuingModel queuing(inputs);
+    const std::size_t n = inputs.numCores();
+    const std::size_t f_top = inputs.coreRatios.size() - 1;
+    const std::size_t m_floor = minMemIndexForUtilisation(inputs);
+
+    std::vector<std::size_t> core_idx(n, f_top);
+    std::size_t mem_idx = inputs.memRatios.size() - 1;
+    int evaluations = 0;
+
+    // Modeled total power at the current assignment.
+    const auto total_power = [&] {
+        Watts p = inputs.staticPower() + inputs.memory.pm *
+            std::pow(inputs.memRatios[mem_idx], inputs.memory.beta);
+        for (std::size_t i = 0; i < n; ++i)
+            p += inputs.cores[i].pi *
+                std::pow(inputs.coreRatios[core_idx[i]],
+                         inputs.cores[i].alpha);
+        return p;
+    };
+
+    // Sum of performance factors (the greedy's loss currency).
+    const auto core_perf = [&](std::size_t i, std::size_t fi,
+                               std::size_t mi) {
+        ++evaluations;
+        return queuing.performance(i, inputs.coreRatios[fi],
+                                   inputs.memRatios[mi]);
+    };
+
+    const auto score_core = [&](std::size_t i) -> Move {
+        Move mv;
+        mv.component = static_cast<int>(i);
+        mv.scoredAtMemLevel = mem_idx;
+        if (core_idx[i] == 0) {
+            mv.efficiency = -1.0; // no further step
+            return mv;
+        }
+        const CoreModel &c = inputs.cores[i];
+        const double dp =
+            c.pi * (std::pow(inputs.coreRatios[core_idx[i]], c.alpha) -
+                    std::pow(inputs.coreRatios[core_idx[i] - 1],
+                             c.alpha));
+        const double dperf = core_perf(i, core_idx[i], mem_idx) -
+            core_perf(i, core_idx[i] - 1, mem_idx);
+        mv.efficiency = dp / std::max(dperf, 1e-12);
+        return mv;
+    };
+
+    const auto score_mem = [&]() -> Move {
+        Move mv;
+        mv.component = -1;
+        mv.scoredAtMemLevel = mem_idx;
+        if (mem_idx <= m_floor) {
+            mv.efficiency = -1.0;
+            return mv;
+        }
+        const double dp = inputs.memory.pm *
+            (std::pow(inputs.memRatios[mem_idx], inputs.memory.beta) -
+             std::pow(inputs.memRatios[mem_idx - 1],
+                      inputs.memory.beta));
+        double dperf = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            dperf += core_perf(i, core_idx[i], mem_idx) -
+                core_perf(i, core_idx[i], mem_idx - 1);
+        mv.efficiency = dp / std::max(dperf, 1e-12);
+        return mv;
+    };
+
+    std::priority_queue<Move> heap;
+    for (std::size_t i = 0; i < n; ++i)
+        heap.push(score_core(i));
+    heap.push(score_mem());
+
+    // Greedy descent: keep taking the most power-efficient step down
+    // until the budget is met or the floor is reached.
+    while (total_power() > inputs.budget && !heap.empty()) {
+        Move mv = heap.top();
+        heap.pop();
+        if (mv.efficiency < 0.0)
+            continue; // component exhausted
+
+        // Memory moved since this entry was scored: core performance
+        // deltas are stale — re-score and re-insert.
+        if (mv.scoredAtMemLevel != mem_idx) {
+            heap.push(mv.component < 0
+                          ? score_mem()
+                          : score_core(static_cast<std::size_t>(
+                                mv.component)));
+            continue;
+        }
+
+        if (mv.component < 0) {
+            --mem_idx;
+            heap.push(score_mem());
+        } else {
+            const auto i = static_cast<std::size_t>(mv.component);
+            --core_idx[i];
+            heap.push(score_core(i));
+        }
+    }
+
+    PolicyDecision dec;
+    dec.predictedPower = total_power();
+    dec.coreFreqIdx = std::move(core_idx);
+    dec.memFreqIdx = mem_idx;
+    dec.evaluations = evaluations;
+    return dec;
+}
+
+} // namespace fastcap

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Steepest-Drop baseline: the greedy heuristic family of Meng et al.
+ * [18] / Winter et al. [19] from Table I, extended with memory DVFS.
+ *
+ * Starting from all components at maximum frequency, repeatedly take
+ * the single one-level-down step (one core, or the memory) with the
+ * best power-saved per performance-lost ratio, until the modeled
+ * power fits the budget. A max-heap orders candidate moves; memory
+ * moves invalidate core entries lazily (re-scored on pop). Winter et
+ * al. [19] bound the refined version at O(F N log N); this
+ * transparent implementation degrades to O(F N^2) when memory moves
+ * force rescoring — `bench_table1_complexity` measures ~N^2, making
+ * Table I's scaling gap against FastCap's O(N log M) visible
+ * empirically either way.
+ */
+
+#ifndef FASTCAP_POLICIES_STEEPEST_DROP_HPP
+#define FASTCAP_POLICIES_STEEPEST_DROP_HPP
+
+#include <string>
+
+#include "core/policy.hpp"
+
+namespace fastcap {
+
+/**
+ * Greedy ∆power/∆performance descent.
+ *
+ * Unlike FastCap it carries no fairness notion: it sheds power
+ * wherever it is cheapest, so memory-bound applications (whose
+ * core-frequency steps cost little performance) get squeezed first.
+ */
+class SteepestDropPolicy : public CappingPolicy
+{
+  public:
+    std::string name() const override { return "Steepest-Drop"; }
+
+    PolicyDecision decide(const PolicyInputs &inputs) override;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_POLICIES_STEEPEST_DROP_HPP

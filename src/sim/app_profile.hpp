@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Application behaviour profiles driving the simulated cores.
+ *
+ * The paper runs SPEC 2000/2006 Simpoints; we substitute synthetic
+ * profiles (see DESIGN.md section 2): each application is a cyclic
+ * sequence of phases, each phase characterised by its non-memory CPI,
+ * L2 miss and writeback rates, and switching activity. FastCap never
+ * sees these parameters — only the performance counters the simulator
+ * derives from them.
+ */
+
+#ifndef FASTCAP_SIM_APP_PROFILE_HPP
+#define FASTCAP_SIM_APP_PROFILE_HPP
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+/**
+ * One execution phase of an application.
+ *
+ * Rates are per kilo-instruction as in Table III of the paper.
+ */
+struct Phase
+{
+    /** Length of this phase in instructions. */
+    double instructions = 10e6;
+    /** Cycles per instruction of pure compute (no L2 misses). */
+    double cpiExec = 1.0;
+    /** L2 misses (memory reads) per kilo-instruction. */
+    double mpki = 1.0;
+    /** L2 writebacks per kilo-instruction. */
+    double wpki = 0.2;
+    /** Switching-activity factor in (0, 1]; scales dynamic power. */
+    double activity = 0.8;
+
+    /** Average instructions between two demand misses. */
+    double
+    instructionsPerMiss() const
+    {
+        return 1000.0 / mpki;
+    }
+};
+
+/**
+ * A named application: cyclic phase schedule.
+ *
+ * Phase selection wraps modulo the cycle length, so profiles describe
+ * stationary long-run behaviour with periodic phase changes — the
+ * dynamics Figs 4, 7 and 8 of the paper exercise.
+ */
+class AppProfile
+{
+  public:
+    AppProfile() = default;
+
+    AppProfile(std::string name, std::vector<Phase> phases)
+        : _name(std::move(name)), _phases(std::move(phases))
+    {
+        if (_phases.empty())
+            fatal("AppProfile %s: needs at least one phase",
+                  _name.c_str());
+        for (const Phase &p : _phases) {
+            if (p.mpki <= 0.0 || p.cpiExec <= 0.0 ||
+                p.instructions <= 0.0) {
+                fatal("AppProfile %s: phase parameters must be "
+                      "positive", _name.c_str());
+            }
+            _cycleLength += p.instructions;
+        }
+    }
+
+    /** Single-phase convenience constructor. */
+    AppProfile(std::string name, Phase phase)
+        : AppProfile(std::move(name),
+                     std::vector<Phase>{std::move(phase)})
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::vector<Phase> &phases() const { return _phases; }
+    double cycleLength() const { return _cycleLength; }
+
+    /** Phase in effect after `instr_executed` instructions. */
+    const Phase &
+    phaseAt(double instr_executed) const
+    {
+        if (_phases.size() == 1)
+            return _phases.front();
+        double pos = instr_executed -
+            _cycleLength * std::floor(instr_executed / _cycleLength);
+        for (const Phase &p : _phases) {
+            if (pos < p.instructions)
+                return p;
+            pos -= p.instructions;
+        }
+        return _phases.back();
+    }
+
+    /** Instruction-weighted average MPKI over one cycle. */
+    double averageMpki() const;
+    /** Instruction-weighted average WPKI over one cycle. */
+    double averageWpki() const;
+    /** Instruction-weighted average compute CPI over one cycle. */
+    double averageCpiExec() const;
+
+  private:
+    std::string _name;
+    std::vector<Phase> _phases;
+    double _cycleLength = 0.0;
+};
+
+inline double
+AppProfile::averageMpki() const
+{
+    double acc = 0.0;
+    for (const Phase &p : _phases)
+        acc += p.mpki * p.instructions;
+    return acc / _cycleLength;
+}
+
+inline double
+AppProfile::averageWpki() const
+{
+    double acc = 0.0;
+    for (const Phase &p : _phases)
+        acc += p.wpki * p.instructions;
+    return acc / _cycleLength;
+}
+
+inline double
+AppProfile::averageCpiExec() const
+{
+    double acc = 0.0;
+    for (const Phase &p : _phases)
+        acc += p.cpiExec * p.instructions;
+    return acc / _cycleLength;
+}
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_APP_PROFILE_HPP

@@ -1,0 +1,64 @@
+#include "sim/config.hpp"
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+SimConfig
+SimConfig::defaultConfig(int cores)
+{
+    SimConfig cfg;
+    cfg.numCores = cores;
+
+    // Table II: 4 DDR3 channels for 16/32 cores, 8 channels for 64.
+    const int channels = (cores >= 64) ? 8 : 4;
+    cfg.banksPerController = 8 * channels;
+
+    // The default single "common bus" aggregates all channels, so its
+    // per-line transfer time shrinks with channel count: 6 DDR bus
+    // cycles of occupancy for one 64-byte line on one channel.
+    cfg.busBurstCycles = 6.0 / static_cast<double>(channels);
+
+    // Memory power scales with channel count (reference: 4 channels).
+    const double mem_scale = static_cast<double>(channels) / 4.0;
+    cfg.memPower.interfaceMax *= mem_scale;
+    cfg.memPower.mcMax *= mem_scale;
+    cfg.memPower.staticPower *= mem_scale;
+
+    cfg.validate();
+    return cfg;
+}
+
+void
+SimConfig::validate() const
+{
+    if (numCores < 1)
+        fatal("SimConfig: numCores must be >= 1 (got %d)", numCores);
+    if (numControllers < 1)
+        fatal("SimConfig: numControllers must be >= 1 (got %d)",
+              numControllers);
+    if (banksPerController < 1)
+        fatal("SimConfig: banksPerController must be >= 1 (got %d)",
+              banksPerController);
+    if (busBurstCycles <= 0.0)
+        fatal("SimConfig: busBurstCycles must be positive");
+    if (epochLength <= 0.0 || profileWindow <= 0.0 || execWindow <= 0.0)
+        fatal("SimConfig: epoch/window lengths must be positive");
+    if (profileWindow + execWindow > epochLength)
+        fatal("SimConfig: sampling windows (%g s) exceed the epoch "
+              "(%g s)", profileWindow + execWindow, epochLength);
+    if (skewHotFraction <= 0.0 || skewHotFraction > 1.0)
+        fatal("SimConfig: skewHotFraction must be in (0, 1]");
+    if (rowHitRate < 0.0 || rowHitRate > 1.0)
+        fatal("SimConfig: rowHitRate must be in [0, 1]");
+    if (bankRowHitTime <= 0.0 || bankRowMissTime < bankRowHitTime)
+        fatal("SimConfig: need 0 < bankRowHitTime <= bankRowMissTime");
+    if (oooMaxOutstanding < 1)
+        fatal("SimConfig: oooMaxOutstanding must be >= 1");
+    if (corePower.dynMax <= 0.0 || corePower.staticPower < 0.0)
+        fatal("SimConfig: core power parameters must be positive");
+    if (corePower.stallFactor < 0.0 || corePower.stallFactor > 1.0)
+        fatal("SimConfig: stallFactor must be in [0, 1]");
+}
+
+} // namespace fastcap

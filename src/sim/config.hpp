@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Simulated-system configuration, mirroring Table II of the paper
+ * plus the sampling parameters of our epoch scheme (see DESIGN.md
+ * section 5 for the sampling substitution).
+ */
+
+#ifndef FASTCAP_SIM_CONFIG_HPP
+#define FASTCAP_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dvfs.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Core execution model (Section IV-B studies both). */
+enum class ExecMode : std::uint8_t {
+    InOrder,    //!< one outstanding miss; core blocks on every miss
+    OutOfOrder, //!< idealized large-window OoO: bounded outstanding
+};
+
+/** How cores' accesses spread over multiple memory controllers. */
+enum class InterleaveMode : std::uint8_t {
+    Uniform, //!< each controller equally likely
+    Skewed,  //!< one hot controller receives most accesses
+};
+
+/** Ground-truth power parameters for one core (simulator side). */
+struct CorePowerConfig
+{
+    /** Max voltage/frequency-dependent power at activity 1. */
+    Watts dynMax = 3.5;
+    /** Static (frequency-independent) per-core power. */
+    Watts staticPower = 1.0;
+    /**
+     * Fraction of dynamic power a stalled (memory-waiting) core
+     * still burns: the clock tree keeps toggling.
+     */
+    double stallFactor = 0.3;
+};
+
+/** Ground-truth power parameters for the memory subsystem. */
+struct MemoryPowerConfig
+{
+    /** Energy per memory access (activate + read/write + I/O). */
+    Joules accessEnergy = 20e-9;
+    /**
+     * Interface power (PLLs, registers, termination) at max bus
+     * frequency; scales ~linearly with bus frequency. Subsystem
+     * total (split across controllers).
+     */
+    Watts interfaceMax = 8.0;
+    /** Memory-controller logic max power; scales like V^2 * f. */
+    Watts mcMax = 6.0;
+    /** Static DRAM power (refresh, standby); subsystem total. */
+    Watts staticPower = 12.0;
+};
+
+/**
+ * Full simulated-system configuration.
+ *
+ * The defaults model the 16-core configuration of Table II; use
+ * defaultConfig(n) for the paper's other core counts.
+ */
+struct SimConfig
+{
+    // --- topology -------------------------------------------------
+    int numCores = 16;
+    ExecMode execMode = ExecMode::InOrder;
+    int numControllers = 1;
+    int banksPerController = 32; //!< 4 DDR3 channels x 8 banks
+    InterleaveMode interleave = InterleaveMode::Uniform;
+    /** Probability mass on the hot controller in Skewed mode. */
+    double skewHotFraction = 0.7;
+
+    // --- DVFS -----------------------------------------------------
+    FrequencyLadder coreLadder = FrequencyLadder::coreDefault();
+    FrequencyLadder memLadder = FrequencyLadder::memoryDefault();
+    VoltageCurve coreVoltage = VoltageCurve::coreDefault();
+    VoltageCurve mcVoltage = VoltageCurve::memoryControllerDefault();
+    Seconds coreTransitionTime = fromUs(20);
+    Seconds memTransitionTime = fromUs(20);
+
+    // --- timing (Table II-flavoured) --------------------------------
+    /** Shared L2 hit latency; separate voltage domain, so constant. */
+    Seconds l2Time = fromNs(7.5); //!< 30 cycles at 4 GHz
+    /** Bank service time on a row-buffer hit (tCL + burst). */
+    Seconds bankRowHitTime = fromNs(20);
+    /** Bank service on a row-buffer miss (tRP + tRCD + tCL + burst). */
+    Seconds bankRowMissTime = fromNs(50);
+    /**
+     * Bus cycles one 64 B line occupies the (channel-aggregated)
+     * common bus, including command/turnaround overhead. The default
+     * models Table II's 4 DDR3 channels folded into the queuing
+     * model's single bus; defaultConfig() scales it by channel count.
+     */
+    double busBurstCycles = 1.5;
+
+    // --- out-of-order idealization ----------------------------------
+    /** Instruction-window entries (bounds outstanding misses). */
+    int oooWindow = 128;
+    /** Hard cap on outstanding misses per core in OoO mode. */
+    int oooMaxOutstanding = 8;
+
+    // --- epochs and sampling (DESIGN.md section 5) -------------------
+    Seconds epochLength = fromMs(5);
+    Seconds profileWindow = fromUs(100);
+    Seconds execWindow = fromUs(100);
+
+    // --- stochastic texture -----------------------------------------
+    /** Lognormal sigma applied to think times. */
+    double thinkJitterSigma = 0.25;
+    /** Row-buffer hit probability default (profiles may override). */
+    double rowHitRate = 0.55;
+    std::uint64_t seed = 0x5eedf00dULL;
+
+    // --- power ------------------------------------------------------
+    CorePowerConfig corePower;
+    MemoryPowerConfig memPower;
+    /** Non-CPU, non-memory components (disks, NICs, fans): fixed. */
+    Watts backgroundPower = 10.0;
+
+    /**
+     * Build the paper's configuration for a given core count:
+     * 4 DDR3 channels for up to 32 cores, 8 channels for 64 cores
+     * (Table II), memory power scaled with channel count.
+     */
+    static SimConfig defaultConfig(int cores);
+
+    /** Sanity-check invariants; fatal() on bad user config. */
+    void validate() const;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_CONFIG_HPP

@@ -1,0 +1,163 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+Core::Core(int id, const SimConfig &cfg, EventQueue &queue, Rng rng)
+    : _id(id), _cfg(cfg), _queue(queue), _rng(rng),
+      _freq(cfg.coreLadder.max()),
+      _freqIndex(cfg.coreLadder.maxIndex())
+{
+}
+
+void
+Core::runApp(const AppProfile *app)
+{
+    if (_started)
+        panic("Core %d: cannot rebind application after start", _id);
+    _app = app;
+}
+
+void
+Core::frequency(Hertz f)
+{
+    if (f <= 0.0)
+        panic("Core %d: non-positive frequency", _id);
+    _freq = f;
+}
+
+void
+Core::start()
+{
+    if (!_app)
+        fatal("Core %d: no application bound", _id);
+    if (!_submit)
+        fatal("Core %d: no request sink installed", _id);
+    if (_started)
+        panic("Core %d: started twice", _id);
+    _started = true;
+    scheduleThink();
+}
+
+double
+Core::currentActivity() const
+{
+    return _app ? _app->phaseAt(_instrRetired).activity : 0.0;
+}
+
+int
+Core::maxOutstanding(const Phase &phase) const
+{
+    if (_cfg.execMode == ExecMode::InOrder)
+        return 1;
+    // Idealized OoO: the instruction window bounds how many misses
+    // can be outstanding; dependencies are disregarded (Section IV-B).
+    const double per_window = static_cast<double>(_cfg.oooWindow) /
+        phase.instructionsPerMiss();
+    const int mlp = static_cast<int>(per_window);
+    return std::clamp(mlp, 1, _cfg.oooMaxOutstanding);
+}
+
+void
+Core::scheduleThink()
+{
+    const Phase &phase = _app->phaseAt(_instrRetired);
+    const double instr = phase.instructionsPerMiss();
+    // Think time: instructions * CPI_exec cycles at the current
+    // frequency, jittered to avoid lockstep artefacts.
+    const Seconds z = instr * phase.cpiExec / _freq *
+        _rng.jitter(_cfg.thinkJitterSigma);
+    _queue.scheduleAfter(z, [this, z, instr] {
+        onThinkDone(z, instr);
+    });
+}
+
+void
+Core::onThinkDone(Seconds think_time, double instr)
+{
+    const Seconds now = _queue.now();
+    _instrRetired += instr;
+    _counters.instructions += static_cast<std::uint64_t>(instr);
+    _counters.busyTime += think_time;
+    ++_counters.misses;
+
+    const Phase &phase = _app->phaseAt(_instrRetired);
+    maybeIssueWriteback(phase);
+
+    // Demand read: traverses the shared L2 (constant-latency separate
+    // voltage domain), then the memory subsystem.
+    Request req;
+    req.type = RequestType::Read;
+    req.coreId = _id;
+    req.issueTime = now;
+    ++_outstanding;
+    _queue.scheduleAfter(_cfg.l2Time, [this, req] { _submit(req); });
+
+    if (_outstanding >= maxOutstanding(phase)) {
+        // In-order cores always block here; OoO cores block only when
+        // the instruction window is full.
+        _stalled = true;
+        _stallStart = now;
+        ++_counters.stalls;
+    } else {
+        scheduleThink();
+    }
+}
+
+void
+Core::maybeIssueWriteback(const Phase &phase)
+{
+    // Writebacks occur at wpki/mpki per demand miss; values above 1
+    // (write-heavy phases) emit multiple writebacks stochastically.
+    double expected = phase.wpki / phase.mpki;
+    while (expected > 0.0) {
+        const double p = std::min(expected, 1.0);
+        if (p >= 1.0 || _rng.chance(p)) {
+            Request wb;
+            wb.type = RequestType::Writeback;
+            wb.coreId = _id;
+            wb.issueTime = _queue.now();
+            ++_counters.writebacks;
+            _submit(wb);
+        }
+        expected -= 1.0;
+    }
+}
+
+void
+Core::onDataReturn(const Request &req, Seconds now)
+{
+    (void)req;
+    --_outstanding;
+    ++_counters.returns;
+    if (_outstanding < 0)
+        panic("Core %d: negative outstanding misses", _id);
+
+    if (_stalled) {
+        _stalled = false;
+        _counters.stallTime += now - _stallStart;
+        scheduleThink();
+    }
+}
+
+void
+Core::flushStall(Seconds now)
+{
+    if (_stalled && now > _stallStart) {
+        _counters.stallTime += now - _stallStart;
+        _stallStart = now;
+    }
+}
+
+void
+Core::creditInstructions(double instr)
+{
+    if (instr < 0.0)
+        panic("Core %d: negative instruction credit", _id);
+    _instrRetired += instr;
+}
+
+} // namespace fastcap

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Simulated CPU core: generates memory requests separated by think
+ * times, exactly the closed-network client of the paper's queuing
+ * model (Figure 2). Supports the in-order blocking mode (default) and
+ * the idealized out-of-order mode of Section IV-B.
+ */
+
+#ifndef FASTCAP_SIM_CORE_HPP
+#define FASTCAP_SIM_CORE_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/app_profile.hpp"
+#include "sim/config.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/request.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Per-window core performance counters: the inputs of Eq. 9 plus the
+ * busy/stall split used for power accounting.
+ */
+struct CoreCounters
+{
+    std::uint64_t instructions = 0; //!< TIC
+    std::uint64_t misses = 0;       //!< TLM (demand reads issued)
+    std::uint64_t writebacks = 0;
+    std::uint64_t stalls = 0;       //!< actual core-blocking events
+    std::uint64_t returns = 0;      //!< reads completed
+    Seconds busyTime = 0.0;         //!< executing (think) time
+    Seconds stallTime = 0.0;        //!< blocked waiting on memory
+};
+
+/**
+ * One core running one application.
+ *
+ * The core issues a demand read after every think interval of
+ * `instructionsPerMiss * cpiExec / f` seconds (lognormal-jittered),
+ * waits for the line (in-order) or continues until its window fills
+ * (OoO), and emits writebacks as background traffic off the critical
+ * path.
+ */
+class Core
+{
+  public:
+    /** Sink for generated requests (routed to a controller). */
+    using SubmitFn = std::function<void(Request)>;
+
+    Core(int id, const SimConfig &cfg, EventQueue &queue, Rng rng);
+
+    int id() const { return _id; }
+
+    /** Bind the application this core runs. Must precede start(). */
+    void runApp(const AppProfile *app);
+    const AppProfile *app() const { return _app; }
+
+    /** Install the request sink. Must precede start(). */
+    void submitCallback(SubmitFn fn) { _submit = std::move(fn); }
+
+    /** Begin execution at the current simulated time. */
+    void start();
+
+    /** Core DVFS: set operating frequency (new thinks use it). */
+    void frequency(Hertz f);
+    Hertz frequency() const { return _freq; }
+
+    /** Ladder index bookkeeping for the harness. */
+    void freqIndex(std::size_t idx) { _freqIndex = idx; }
+    std::size_t freqIndex() const { return _freqIndex; }
+
+    /** Completed line delivered to this core. */
+    void onDataReturn(const Request &req, Seconds now);
+
+    /** Cumulative instructions executed (including credited). */
+    double instructionsRetired() const { return _instrRetired; }
+
+    /**
+     * Advance the application position without simulating, used by
+     * the epoch extrapolation (DESIGN.md section 5).
+     */
+    void creditInstructions(double instr);
+
+    /** Window counters since the last resetCounters(). */
+    const CoreCounters &counters() const { return _counters; }
+    void resetCounters() { _counters = CoreCounters{}; }
+
+    /** Activity factor of the current phase (for power accounting). */
+    double currentActivity() const;
+
+    /** Outstanding demand misses (at most 1 when in-order). */
+    int outstanding() const { return _outstanding; }
+
+    /** True while the core is blocked waiting on memory. */
+    bool stalled() const { return _stalled; }
+
+    /**
+     * Account any in-progress stall up to `now` (window boundary), so
+     * cores blocked across a whole window still report stall time.
+     */
+    void flushStall(Seconds now);
+
+  private:
+    void scheduleThink();
+    void onThinkDone(Seconds think_time, double instr);
+    void maybeIssueWriteback(const Phase &phase);
+    int maxOutstanding(const Phase &phase) const;
+
+    int _id;
+    const SimConfig &_cfg;
+    EventQueue &_queue;
+    Rng _rng;
+    const AppProfile *_app = nullptr;
+    SubmitFn _submit;
+
+    Hertz _freq;
+    std::size_t _freqIndex;
+
+    double _instrRetired = 0.0;
+    CoreCounters _counters;
+
+    bool _started = false;
+    bool _stalled = false;
+    Seconds _stallStart = 0.0;
+    int _outstanding = 0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_CORE_HPP

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+void
+EventQueue::schedule(Seconds when, Callback cb)
+{
+    if (when < _now)
+        panic("EventQueue::schedule: event in the past (%g < %g)",
+              when, _now);
+    _heap.push(Entry{when, _seq++, std::move(cb)});
+}
+
+std::uint64_t
+EventQueue::runUntil(Seconds t_end)
+{
+    std::uint64_t ran = 0;
+    while (!_heap.empty() && _heap.top().when <= t_end) {
+        // Copy out before pop so the callback may schedule freely.
+        Entry e = std::move(const_cast<Entry &>(_heap.top()));
+        _heap.pop();
+        _now = e.when;
+        e.cb();
+        ++ran;
+        ++_processed;
+    }
+    if (t_end > _now)
+        _now = t_end;
+    return ran;
+}
+
+bool
+EventQueue::step()
+{
+    if (_heap.empty())
+        return false;
+    Entry e = std::move(const_cast<Entry &>(_heap.top()));
+    _heap.pop();
+    _now = e.when;
+    e.cb();
+    ++_processed;
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_heap.empty())
+        _heap.pop();
+}
+
+} // namespace fastcap

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single time-ordered queue of callbacks with deterministic FIFO
+ * tie-breaking for equal timestamps. The whole simulator is
+ * single-threaded; determinism (same seed, same event order, same
+ * results) is a hard requirement for reproducing EXPERIMENTS.md.
+ */
+
+#ifndef FASTCAP_SIM_EVENT_QUEUE_HPP
+#define FASTCAP_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Time-ordered event queue.
+ *
+ * Events are closures scheduled at absolute simulated times. Events
+ * scheduled for the same instant fire in scheduling order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time in seconds. */
+    Seconds now() const { return _now; }
+
+    /** Total events executed since construction. */
+    std::uint64_t processed() const { return _processed; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+    bool empty() const { return _heap.empty(); }
+
+    /**
+     * Schedule `cb` at absolute time `when`.
+     *
+     * Scheduling in the past is a library bug and panics; scheduling
+     * exactly at now() is allowed and fires on the next run step.
+     */
+    void schedule(Seconds when, Callback cb);
+
+    /** Schedule `cb` at now() + delay. */
+    void scheduleAfter(Seconds delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Run all events with timestamp <= t_end, then advance now() to
+     * t_end even if the queue drains early (the remaining interval is
+     * idle time).
+     *
+     * @return number of events processed by this call.
+     */
+    std::uint64_t runUntil(Seconds t_end);
+
+    /**
+     * Run a single event if one is pending.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /** Drop all pending events (used between experiments). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Seconds _now = 0.0;
+    std::uint64_t _seq = 0;
+    std::uint64_t _processed = 0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The shared memory data bus: first-come-first-serve, one transfer at
+ * a time. Transfer duration is set by the controller from the current
+ * memory (bus) frequency — this is the DVFS-scaled `s_b` of the
+ * paper's model.
+ */
+
+#ifndef FASTCAP_SIM_MEMORY_BUS_HPP
+#define FASTCAP_SIM_MEMORY_BUS_HPP
+
+#include <deque>
+#include <optional>
+
+#include "sim/request.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * FCFS shared bus. Owned and driven by MemoryController.
+ */
+class MemoryBus
+{
+  public:
+    /**
+     * A request finished bank service and waits for the bus.
+     * @return queue length after insertion, including the departing
+     *         request itself — the paper's U sample.
+     */
+    std::size_t
+    enqueue(Request req)
+    {
+        _queue.push_back(std::move(req));
+        return _queue.size();
+    }
+
+    bool idle() const { return !_transferring.has_value(); }
+    bool canStart() const { return idle() && !_queue.empty(); }
+    std::size_t queued() const { return _queue.size(); }
+
+    /** Begin the next transfer; caller schedules its completion. */
+    Request
+    startTransfer(Seconds now)
+    {
+        Request req = std::move(_queue.front());
+        _queue.pop_front();
+        _transferStart = now;
+        _transferring = req;
+        return req;
+    }
+
+    /** Complete the in-flight transfer and return the request. */
+    Request
+    finishTransfer(Seconds now)
+    {
+        Request req = std::move(*_transferring);
+        _transferring.reset();
+        _busyTime += now - _transferStart;
+        return req;
+    }
+
+    /** Cumulative time the bus spent transferring. */
+    Seconds busyTime() const { return _busyTime; }
+    void resetBusyTime() { _busyTime = 0.0; }
+
+  private:
+    std::deque<Request> _queue;
+    std::optional<Request> _transferring;
+    Seconds _transferStart = 0.0;
+    Seconds _busyTime = 0.0;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_MEMORY_BUS_HPP

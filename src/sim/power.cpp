@@ -1,0 +1,76 @@
+#include "sim/power.hpp"
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+CorePowerModel::CorePowerModel(const CorePowerConfig &cfg,
+                               const VoltageCurve &curve, Hertz f_max)
+    : _cfg(cfg), _curve(curve), _fMax(f_max)
+{
+    if (f_max <= 0.0)
+        fatal("CorePowerModel: non-positive max frequency");
+}
+
+Watts
+CorePowerModel::dynamicPower(Hertz f, double activity) const
+{
+    // C_eff * a * V^2 * f, normalized so (f_max, V_max, a=1) gives
+    // dynMax.
+    return _cfg.dynMax * activity * _curve.squaredRatio(f) * (f / _fMax);
+}
+
+Joules
+CorePowerModel::windowEnergy(Hertz f, double activity, Seconds busy,
+                             Seconds stalled, Seconds window) const
+{
+    const Watts dyn = dynamicPower(f, activity);
+    return dyn * busy + dyn * _cfg.stallFactor * stalled +
+        _cfg.staticPower * window;
+}
+
+Watts
+CorePowerModel::peakPower() const
+{
+    return _cfg.dynMax + _cfg.staticPower;
+}
+
+MemoryPowerModel::MemoryPowerModel(const MemoryPowerConfig &cfg,
+                                   double share,
+                                   const VoltageCurve &curve, Hertz f_max)
+    : _cfg(cfg), _share(share), _curve(curve), _fMax(f_max)
+{
+    if (share <= 0.0 || share > 1.0)
+        fatal("MemoryPowerModel: share must be in (0, 1]");
+}
+
+Watts
+MemoryPowerModel::frequencyPower(Hertz bus_freq) const
+{
+    const double x = bus_freq / _fMax;
+    // Interface (PLLs, registers, termination) scales ~linearly with
+    // bus frequency: this is the beta ~= 1 term of Eq. 3. The MC is a
+    // logic block scaling like V^2 * f.
+    const Watts interface = _cfg.interfaceMax * _share * x;
+    const Watts mc = _cfg.mcMax * _share *
+        _curve.squaredRatio(bus_freq) * x;
+    return interface + mc;
+}
+
+Joules
+MemoryPowerModel::windowEnergy(Hertz bus_freq, std::uint64_t accesses,
+                               Seconds window) const
+{
+    return _cfg.accessEnergy * static_cast<double>(accesses) +
+        frequencyPower(bus_freq) * window +
+        staticPower() * window;
+}
+
+Watts
+MemoryPowerModel::peakPower(double peak_access_rate) const
+{
+    return _cfg.accessEnergy * peak_access_rate +
+        frequencyPower(_fMax) + staticPower();
+}
+
+} // namespace fastcap

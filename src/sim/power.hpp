@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ground-truth power accounting for the simulated system.
+ *
+ * This is the simulator side of the power story: given utilisations
+ * measured by the DES, it computes the energy each component drew.
+ * FastCap's governor never reads these models directly — it re-fits
+ * Eq. 2 / Eq. 3 parameters online from (frequency, measured power)
+ * samples, as in the paper.
+ *
+ * Core dynamic power follows C_eff * activity * V(f)^2 * f, which over
+ * the 2.2-4.0 GHz / 0.65-1.2 V range yields an effective exponent
+ * alpha ~= 3 (the paper reports 2-3). Memory power combines
+ * frequency-proportional interface power (beta ~= 1, bus/DIMM
+ * frequency-only scaling), V^2*f memory-controller power, per-access
+ * energy, and static power.
+ */
+
+#ifndef FASTCAP_SIM_POWER_HPP
+#define FASTCAP_SIM_POWER_HPP
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Per-core power calculator (simulator ground truth).
+ */
+class CorePowerModel
+{
+  public:
+    CorePowerModel(const CorePowerConfig &cfg, const VoltageCurve &curve,
+                   Hertz f_max);
+
+    /** Dynamic power while executing at frequency f and activity a. */
+    Watts dynamicPower(Hertz f, double activity) const;
+
+    /**
+     * Energy over a window split into busy and stalled time. A
+     * stalled core still burns stallFactor of its dynamic power.
+     */
+    Joules windowEnergy(Hertz f, double activity, Seconds busy,
+                        Seconds stalled, Seconds window) const;
+
+    Watts staticPower() const { return _cfg.staticPower; }
+
+    /** Nameplate maximum (activity 1, max frequency, busy). */
+    Watts peakPower() const;
+
+  private:
+    CorePowerConfig _cfg;
+    VoltageCurve _curve;
+    Hertz _fMax;
+};
+
+/**
+ * Memory-subsystem power calculator for one controller's share
+ * (simulator ground truth). Config totals are split across
+ * controllers by the system.
+ */
+class MemoryPowerModel
+{
+  public:
+    /**
+     * @param cfg        subsystem totals
+     * @param share      fraction of the subsystem this instance models
+     * @param curve      MC voltage curve (indexed by bus frequency)
+     * @param f_max      maximum bus frequency
+     */
+    MemoryPowerModel(const MemoryPowerConfig &cfg, double share,
+                     const VoltageCurve &curve, Hertz f_max);
+
+    /**
+     * Energy for a window: access energy plus frequency-scaled
+     * interface and MC power plus static power.
+     */
+    Joules windowEnergy(Hertz bus_freq, std::uint64_t accesses,
+                        Seconds window) const;
+
+    /** Frequency-dependent (non-static, non-access) power at f. */
+    Watts frequencyPower(Hertz bus_freq) const;
+
+    Watts staticPower() const { return _cfg.staticPower * _share; }
+
+    /**
+     * Nameplate maximum given the peak access rate the bus sustains
+     * (1 / min transfer time).
+     */
+    Watts peakPower(double peak_access_rate) const;
+
+  private:
+    MemoryPowerConfig _cfg;
+    double _share;
+    VoltageCurve _curve;
+    Hertz _fMax;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_POWER_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Memory request descriptor flowing through the simulated memory
+ * subsystem (Figure 1 of the paper): core -> bank queue -> bank
+ * service -> bus queue -> bus transfer -> core.
+ */
+
+#ifndef FASTCAP_SIM_REQUEST_HPP
+#define FASTCAP_SIM_REQUEST_HPP
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Kind of memory traffic. */
+enum class RequestType : std::uint8_t {
+    Read,       //!< demand miss; blocks the issuing core (in-order)
+    Writeback,  //!< background traffic; occupies bank+bus only
+};
+
+/**
+ * A single memory transaction.
+ *
+ * Requests are small value types owned by the bank/bus queues as they
+ * move through the subsystem.
+ */
+struct Request
+{
+    RequestType type = RequestType::Read;
+    int coreId = -1;          //!< issuing core
+    int controllerId = -1;    //!< controller servicing the request
+    int bankId = -1;          //!< bank within the controller
+    Seconds issueTime = 0.0;  //!< when the core generated it
+    Seconds arriveTime = 0.0; //!< when it entered the bank queue
+    Seconds serveTime = 0.0;  //!< when bank service started
+    Seconds readyTime = 0.0;  //!< when it joined the bus queue
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_REQUEST_HPP

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulated many-core server: N cores, K memory controllers
+ * (banks + transfer-blocking bus each), DVFS actuators, and power
+ * accounting. This is the substrate the paper's evaluation runs on
+ * (their "detailed simulator"); see DESIGN.md for the substitution
+ * notes.
+ *
+ * The system exposes *windows*: bounded spans of discrete-event
+ * simulation that return measured counters and energy. The harness
+ * composes windows into the paper's epochs (profile -> decide ->
+ * run).
+ */
+
+#ifndef FASTCAP_SIM_SYSTEM_HPP
+#define FASTCAP_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/app_profile.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory_controller.hpp"
+#include "sim/power.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Per-core results of one simulated window. */
+struct CoreWindowStats
+{
+    CoreCounters counters;
+    Hertz frequency = 0.0;
+    std::size_t freqIndex = 0;
+    double activity = 0.0;
+    Watts dynamicPower = 0.0; //!< measured (energy / window)
+    Watts totalPower = 0.0;   //!< dynamic + static
+
+    /** Time per instruction over the window. */
+    Seconds
+    tpi(Seconds window) const
+    {
+        return counters.instructions
+            ? window / static_cast<double>(counters.instructions)
+            : 0.0;
+    }
+};
+
+/** Per-controller results of one simulated window. */
+struct MemWindowStats
+{
+    ControllerCounters counters;
+    Hertz busFrequency = 0.0;
+    Seconds transferTime = 0.0;    //!< s_b at the window's frequency
+    double busUtilisation = 0.0;
+    Watts dynamicPower = 0.0;      //!< access + frequency-scaled parts
+    Watts totalPower = 0.0;
+};
+
+/** Results of one simulated window across the whole system. */
+struct WindowStats
+{
+    Seconds duration = 0.0;
+    std::vector<CoreWindowStats> cores;
+    std::vector<MemWindowStats> memory;
+    Watts backgroundPower = 0.0;
+    Joules totalEnergy = 0.0;
+
+    Watts corePowerTotal() const;
+    Watts memPowerTotal() const;
+    /** Full-system average power over the window. */
+    Watts totalPower() const;
+};
+
+/**
+ * The simulated many-core server.
+ */
+class ManyCoreSystem
+{
+  public:
+    /**
+     * @param cfg  validated configuration
+     * @param apps one application per core (size must equal numCores)
+     */
+    ManyCoreSystem(SimConfig cfg, std::vector<AppProfile> apps);
+
+    /** Internal components hold references into this object. */
+    ManyCoreSystem(const ManyCoreSystem &) = delete;
+    ManyCoreSystem &operator=(const ManyCoreSystem &) = delete;
+    ManyCoreSystem(ManyCoreSystem &&) = delete;
+    ManyCoreSystem &operator=(ManyCoreSystem &&) = delete;
+
+    const SimConfig &config() const { return _cfg; }
+    int numCores() const { return _cfg.numCores; }
+    int numControllers() const { return _cfg.numControllers; }
+    Seconds now() const { return _queue.now(); }
+
+    /** The application bound to core i. */
+    const AppProfile &appOf(int core) const;
+
+    // --- DVFS actuation ----------------------------------------------
+    void coreFreqIndex(int core, std::size_t idx);
+    std::size_t coreFreqIndex(int core) const;
+    void memFreqIndex(std::size_t idx);
+    std::size_t memFreqIndex() const { return _memFreqIndex; }
+    Hertz memFrequency() const;
+
+    /** Set every core and the memory to their maximum frequencies. */
+    void maxFrequencies();
+
+    // --- simulation ----------------------------------------------------
+    /**
+     * Run the discrete-event simulation for `duration` seconds and
+     * return measured counters, utilisations and energy.
+     */
+    WindowStats runWindow(Seconds duration);
+
+    /** Cumulative instructions retired by core i (incl. credit). */
+    double instructionsRetired(int core) const;
+
+    /** Extrapolation credit (see DESIGN.md section 5). */
+    void creditInstructions(int core, double instr);
+
+    // --- power ---------------------------------------------------------
+    /**
+     * Nameplate peak power: all cores busy at activity 1 and max
+     * frequency, memory at its peak sustainable access rate. This is
+     * the P̄ the budget fraction B multiplies.
+     */
+    Watts nameplatePeakPower() const;
+
+    /** Access probabilities of core i over controllers. */
+    const std::vector<double> &accessProbabilities(int core) const;
+
+    /** Total requests currently inside the memory subsystem. */
+    std::uint64_t memoryInFlight() const;
+
+    /** Events processed so far (determinism / perf diagnostics). */
+    std::uint64_t eventsProcessed() const { return _queue.processed(); }
+
+  private:
+    void route(Request req);
+    void buildAccessMatrix();
+
+    SimConfig _cfg;
+    std::vector<AppProfile> _apps;
+    EventQueue _queue;
+    Rng _rng;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::vector<std::unique_ptr<MemoryController>> _controllers;
+    CorePowerModel _corePower;
+    std::vector<MemoryPowerModel> _memPower;
+    std::vector<std::vector<double>> _accessProbs;
+    std::size_t _memFreqIndex;
+    bool _running = false;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_SYSTEM_HPP

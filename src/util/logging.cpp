@@ -1,0 +1,105 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+namespace fastcap {
+
+Logger &
+Logger::global()
+{
+    static Logger instance;
+    return instance;
+}
+
+void
+Logger::emit(LogLevel lvl, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(lvl) > static_cast<int>(_level))
+        return;
+    std::fprintf(_out, "%s: %s\n", tag, msg.c_str());
+    std::fflush(_out);
+}
+
+namespace detail {
+
+std::string
+vformat(const char *fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformat(fmt, args);
+    va_end(args);
+    return out;
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Inform, "info", msg);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Warn, "warn", msg);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Debug, "debug", msg);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Warn, "fatal", msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = detail::vformat(fmt, args);
+    va_end(args);
+    Logger::global().emit(LogLevel::Warn, "panic", msg);
+    throw PanicError(msg);
+}
+
+} // namespace fastcap

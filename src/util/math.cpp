@@ -1,0 +1,173 @@
+#include "util/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+RootResult
+bisect(const std::function<double(double)> &f, double lo, double hi,
+       double tol_x, double tol_f, int max_iter)
+{
+    RootResult res;
+    if (lo > hi)
+        std::swap(lo, hi);
+
+    double flo = f(lo);
+    double fhi = f(hi);
+
+    if (std::abs(flo) <= tol_f) {
+        res.x = lo;
+        res.fx = flo;
+        res.converged = true;
+        return res;
+    }
+    if (std::abs(fhi) <= tol_f) {
+        res.x = hi;
+        res.fx = fhi;
+        res.converged = true;
+        return res;
+    }
+    if (flo * fhi > 0.0) {
+        // No sign change: report the endpoint with the smaller
+        // residual, not converged.
+        if (std::abs(flo) < std::abs(fhi)) {
+            res.x = lo;
+            res.fx = flo;
+        } else {
+            res.x = hi;
+            res.fx = fhi;
+        }
+        return res;
+    }
+
+    double mid = 0.5 * (lo + hi);
+    for (int it = 0; it < max_iter; ++it) {
+        mid = 0.5 * (lo + hi);
+        const double fmid = f(mid);
+        res.iterations = it + 1;
+        if (std::abs(fmid) <= tol_f || (hi - lo) * 0.5 <= tol_x) {
+            res.x = mid;
+            res.fx = fmid;
+            res.converged = true;
+            return res;
+        }
+        if (flo * fmid < 0.0) {
+            hi = mid;
+            fhi = fmid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    res.x = mid;
+    res.fx = f(mid);
+    res.converged = false;
+    return res;
+}
+
+RootResult
+solveMonotone(const std::function<double(double)> &f, double lo, double hi,
+              double tol_x, double tol_f, int max_iter)
+{
+    RootResult res;
+    if (lo > hi)
+        std::swap(lo, hi);
+
+    const double flo = f(lo);
+    if (flo >= 0.0) {
+        // Even the lowest x overshoots: saturate low.
+        res.x = lo;
+        res.fx = flo;
+        res.converged = true;
+        return res;
+    }
+    const double fhi = f(hi);
+    if (fhi <= 0.0) {
+        // Even the highest x undershoots: saturate high.
+        res.x = hi;
+        res.fx = fhi;
+        res.converged = true;
+        return res;
+    }
+    return bisect(f, lo, hi, tol_x, tol_f, max_iter);
+}
+
+LinearFit
+fitLinear(std::span<const double> xs, std::span<const double> ys)
+{
+    LinearFit fit;
+    const size_t n = std::min(xs.size(), ys.size());
+    if (n < 2)
+        return fit;
+
+    double sx = 0.0, sy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / static_cast<double>(n);
+    const double my = sy / static_cast<double>(n);
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0)
+        return fit;
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    fit.valid = true;
+    return fit;
+}
+
+PowerLawFit
+fitPowerLaw(std::span<const double> xs, std::span<const double> ys)
+{
+    PowerLawFit fit;
+    const size_t n = std::min(xs.size(), ys.size());
+
+    std::vector<double> lx, ly;
+    lx.reserve(n);
+    ly.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (xs[i] > 0.0 && ys[i] > 0.0) {
+            lx.push_back(std::log(xs[i]));
+            ly.push_back(std::log(ys[i]));
+        }
+    }
+    const LinearFit lin = fitLinear(lx, ly);
+    if (!lin.valid)
+        return fit;
+
+    fit.scale = std::exp(lin.intercept);
+    fit.exponent = lin.slope;
+    fit.r2 = lin.r2;
+    fit.valid = true;
+    return fit;
+}
+
+double
+clampSafe(double v, double lo, double hi)
+{
+    if (lo > hi)
+        std::swap(lo, hi);
+    return std::clamp(v, lo, hi);
+}
+
+bool
+approxEqual(double a, double b, double tol)
+{
+    const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+    return std::abs(a - b) <= tol * scale;
+}
+
+} // namespace fastcap

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Numerical routines used by the FastCap solver and power-model
+ * fitting: bracketed root finding and least-squares fits.
+ */
+
+#ifndef FASTCAP_UTIL_MATH_HPP
+#define FASTCAP_UTIL_MATH_HPP
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fastcap {
+
+/** Result of a 1-D root solve. */
+struct RootResult
+{
+    double x = 0.0;        //!< located root (or best bracket midpoint)
+    double fx = 0.0;       //!< residual f(x)
+    int iterations = 0;    //!< iterations consumed
+    bool converged = false;
+};
+
+/**
+ * Find x in [lo, hi] with f(x) = 0 by bisection.
+ *
+ * Requires f(lo) and f(hi) to have opposite signs (or either to be
+ * within tol of zero). f must be continuous; monotonicity is not
+ * required but makes the root unique.
+ *
+ * @param f        function to solve
+ * @param lo       lower bracket
+ * @param hi       upper bracket
+ * @param tol_x    absolute tolerance on x
+ * @param tol_f    absolute tolerance on f(x)
+ * @param max_iter iteration cap
+ */
+RootResult bisect(const std::function<double(double)> &f,
+                  double lo, double hi,
+                  double tol_x = 1e-12, double tol_f = 1e-9,
+                  int max_iter = 200);
+
+/**
+ * Solve f(x) = 0 for a *monotonically increasing* f on [lo, hi],
+ * clamping to the endpoints when the root lies outside the bracket:
+ * returns lo if f(lo) > 0, hi if f(hi) < 0.
+ *
+ * This is the shape of FastCap's inner solve: total power is
+ * increasing in the performance factor D, and budgets above/below the
+ * achievable range saturate at the frequency-ladder ends.
+ */
+RootResult solveMonotone(const std::function<double(double)> &f,
+                         double lo, double hi,
+                         double tol_x = 1e-12, double tol_f = 1e-9,
+                         int max_iter = 200);
+
+/** Slope/intercept pair from a linear least-squares fit. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination; 1 means a perfect fit. */
+    double r2 = 0.0;
+    bool valid = false;
+};
+
+/**
+ * Ordinary least squares y = slope * x + intercept.
+ *
+ * Needs at least two points with distinct x. With exactly two points
+ * the fit is exact and r2 = 1.
+ */
+LinearFit fitLinear(std::span<const double> xs, std::span<const double> ys);
+
+/** Parameters of a power-law fit y = scale * x^exponent. */
+struct PowerLawFit
+{
+    double scale = 0.0;
+    double exponent = 0.0;
+    double r2 = 0.0;
+    bool valid = false;
+};
+
+/**
+ * Fit y = scale * x^exponent by linear least squares in log-log space.
+ *
+ * Points with non-positive x or y are ignored (they have no
+ * logarithm); the fit is invalid if fewer than two usable points with
+ * distinct x remain. This is exactly the fit FastCap's governor runs
+ * each epoch to recover (P_i, alpha_i) from (frequency-ratio, dynamic
+ * power) samples.
+ */
+PowerLawFit fitPowerLaw(std::span<const double> xs,
+                        std::span<const double> ys);
+
+/** Clamp helper mirroring std::clamp but tolerant of lo > hi. */
+double clampSafe(double v, double lo, double hi);
+
+/** True if |a - b| <= tol * max(1, |a|, |b|). */
+bool approxEqual(double a, double b, double tol = 1e-9);
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_MATH_HPP

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We use xoshiro256** (public domain, Blackman & Vigna) rather than
+ * std::mt19937 for speed and reproducibility across standard library
+ * implementations: simulation results in EXPERIMENTS.md must be
+ * regenerable bit-for-bit from a seed.
+ */
+
+#ifndef FASTCAP_UTIL_RNG_HPP
+#define FASTCAP_UTIL_RNG_HPP
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace fastcap {
+
+/**
+ * xoshiro256** generator with SplitMix64 seeding.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator, plus
+ * convenience draws used by the simulator (uniform doubles,
+ * exponential and lognormal variates, bounded integers).
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed the four lanes from a single 64-bit seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &lane : _state) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            lane = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit draw. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high bits give a uniformly spaced double in [0,1).
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the n used here (bank counts, app counts).
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(operator()()) * n;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Exponential variate with the given mean. */
+    double
+    exponential(double mean)
+    {
+        // log1p(-u) is safe: u < 1 by construction of uniform().
+        const double u = uniform();
+        return -mean * std::log1p(-u);
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal()
+    {
+        if (_haveSpare) {
+            _haveSpare = false;
+            return _spare;
+        }
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * 3.14159265358979323846 * u2;
+        _spare = r * std::sin(theta);
+        _haveSpare = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal variate with given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return mean + stddev * normal();
+    }
+
+    /**
+     * Positive noise factor with unit mean: lognormal with sigma
+     * controlling relative spread. Used to jitter service and think
+     * times without changing their means much (mean exp adjusting).
+     */
+    double
+    jitter(double sigma)
+    {
+        const double n = normal();
+        return std::exp(sigma * n - 0.5 * sigma * sigma);
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Fork a stream deterministically (for per-core streams). */
+    Rng
+    split(std::uint64_t stream_id)
+    {
+        return Rng(operator()() ^
+                   (stream_id * 0x9e3779b97f4a7c15ULL + 0x3c6ef372fe94f82bULL));
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> _state;
+    double _spare = 0.0;
+    bool _haveSpare = false;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_RNG_HPP

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+    if (_header.empty())
+        fatal("AsciiTable: header must not be empty");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _header.size())
+        panic("AsciiTable: row has %zu cells, header has %zu",
+              cells.size(), _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+void
+AsciiTable::addRowNumeric(const std::string &label,
+                          const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(cells.size() + 1);
+    row.push_back(label);
+    for (double v : cells)
+        row.push_back(num(v, precision));
+    addRow(std::move(row));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c ? "  " : "");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, _header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : _rows)
+        emit_row(os, row);
+    return os.str();
+}
+
+void
+AsciiTable::print(std::FILE *out) const
+{
+    const std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+    std::fflush(out);
+}
+
+} // namespace fastcap

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output. Benches print the same
+ * rows the paper's tables/figures report; this formatter keeps the
+ * output aligned and diff-friendly.
+ */
+
+#ifndef FASTCAP_UTIL_TABLE_HPP
+#define FASTCAP_UTIL_TABLE_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fastcap {
+
+/**
+ * Column-aligned ASCII table with a header row and separator.
+ *
+ * Usage:
+ *   AsciiTable t({"workload", "power", "perf"});
+ *   t.addRow({"MIX3", "0.599", "1.18"});
+ *   t.print(stdout);
+ */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append a body row; must match the header's column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row of doubles, formatted with the given precision. */
+    void addRowNumeric(const std::string &label,
+                       const std::vector<double> &cells,
+                       int precision = 3);
+
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _header.size(); }
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream. */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_TABLE_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit conventions and small helpers used throughout the library.
+ *
+ * All quantities are stored in SI base units as doubles:
+ *   - time in seconds,
+ *   - frequency in hertz,
+ *   - power in watts,
+ *   - energy in joules,
+ *   - voltage in volts.
+ *
+ * The aliases below exist purely to make signatures self-documenting;
+ * they are not strong types. Helper constants make literals readable
+ * (e.g., `5 * MILLI` seconds, `3.2 * GIGA` hertz).
+ */
+
+#ifndef FASTCAP_UTIL_UNITS_HPP
+#define FASTCAP_UTIL_UNITS_HPP
+
+#include <cstdint>
+
+namespace fastcap {
+
+using Seconds = double;
+using Hertz = double;
+using Watts = double;
+using Joules = double;
+using Volts = double;
+
+inline constexpr double GIGA = 1e9;
+inline constexpr double MEGA = 1e6;
+inline constexpr double KILO = 1e3;
+inline constexpr double MILLI = 1e-3;
+inline constexpr double MICRO = 1e-6;
+inline constexpr double NANO = 1e-9;
+
+/** Convert a duration in nanoseconds to seconds. */
+constexpr Seconds fromNs(double ns) { return ns * NANO; }
+/** Convert a duration in microseconds to seconds. */
+constexpr Seconds fromUs(double us) { return us * MICRO; }
+/** Convert a duration in milliseconds to seconds. */
+constexpr Seconds fromMs(double ms) { return ms * MILLI; }
+/** Convert a frequency in GHz to Hz. */
+constexpr Hertz fromGHz(double ghz) { return ghz * GIGA; }
+/** Convert a frequency in MHz to Hz. */
+constexpr Hertz fromMHz(double mhz) { return mhz * MEGA; }
+
+/** Convert seconds to nanoseconds (for display). */
+constexpr double toNs(Seconds s) { return s / NANO; }
+/** Convert seconds to microseconds (for display). */
+constexpr double toUs(Seconds s) { return s / MICRO; }
+/** Convert seconds to milliseconds (for display). */
+constexpr double toMs(Seconds s) { return s / MILLI; }
+/** Convert Hz to GHz (for display). */
+constexpr double toGHz(Hertz f) { return f / GIGA; }
+/** Convert Hz to MHz (for display). */
+constexpr double toMHz(Hertz f) { return f / MEGA; }
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_UNITS_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic SPEC 2000/2006-like application profiles and the 16
+ * workload mixes of Table III.
+ *
+ * Each profile is calibrated so its class-level behaviour (MPKI,
+ * WPKI, compute CPI, activity) matches the paper's workload classes:
+ * ILP (compute-intensive), MID (balanced), MEM (memory-intensive) and
+ * MIX. Per-application phase variability produces the time dynamics
+ * Figures 4, 7 and 8 exercise. The numbers are synthetic stand-ins —
+ * see DESIGN.md section 2 for why this substitution preserves the
+ * paper's behaviour.
+ */
+
+#ifndef FASTCAP_WORKLOAD_SPEC_TABLE_HPP
+#define FASTCAP_WORKLOAD_SPEC_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/app_profile.hpp"
+
+namespace fastcap {
+namespace workloads {
+
+/** Profile of a named SPEC-like application; fatal() if unknown. */
+const AppProfile &spec(const std::string &name);
+
+/** All application names in the table. */
+std::vector<std::string> specNames();
+
+/** The 16 workload names of Table III (ILP1..MIX4). */
+std::vector<std::string> workloadNames();
+
+/** The four applications composing a workload (Table III row). */
+std::vector<std::string> mixApps(const std::string &workload);
+
+/** Workload class of a mix: "ILP", "MID", "MEM" or "MIX". */
+std::string classOf(const std::string &workload);
+
+/** The four workload names of a class (e.g. "MEM1".."MEM4"). */
+std::vector<std::string> workloadsOfClass(const std::string &cls);
+
+/**
+ * Build the per-core application list for a workload: N/4 copies of
+ * each of its four applications, interleaved (the paper's "xN/4
+ * each"). N must be a positive multiple of 4.
+ */
+std::vector<AppProfile> mix(const std::string &workload, int cores);
+
+/**
+ * A deliberately power-hungry profile (max activity, compute-bound)
+ * used to measure peak power draw.
+ */
+AppProfile powerVirus();
+
+} // namespace workloads
+} // namespace fastcap
+
+#endif // FASTCAP_WORKLOAD_SPEC_TABLE_HPP

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the online Eq. 2 / Eq. 3 power-model fitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_fitter.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(PowerLawTracker, BootstrapUsesDefaultExponent)
+{
+    PowerLawTracker t(2.5);
+    t.observe(1.0, 4.0);
+    const FittedModel m = t.model();
+    EXPECT_FALSE(m.fromFit);
+    EXPECT_DOUBLE_EQ(m.exponent, 2.5);
+    EXPECT_DOUBLE_EQ(m.scale, 4.0); // 4.0 / 1.0^2.5
+}
+
+TEST(PowerLawTracker, BootstrapScalesFromSample)
+{
+    PowerLawTracker t(2.0);
+    t.observe(0.5, 1.0);
+    const FittedModel m = t.model();
+    // scale = 1.0 / 0.5^2 = 4.
+    EXPECT_NEAR(m.scale, 4.0, 1e-12);
+}
+
+TEST(PowerLawTracker, TwoSamplesGiveExactFit)
+{
+    PowerLawTracker t(2.5);
+    // Ground truth: P = 3.2 x^2.8.
+    t.observe(1.0, 3.2);
+    t.observe(0.55, 3.2 * std::pow(0.55, 2.8));
+    const FittedModel m = t.model();
+    EXPECT_TRUE(m.fromFit);
+    EXPECT_NEAR(m.exponent, 2.8, 1e-9);
+    EXPECT_NEAR(m.scale, 3.2, 1e-9);
+}
+
+TEST(PowerLawTracker, HistoryKeepsLastThreeFrequencies)
+{
+    PowerLawTracker t(2.5, 3);
+    const double alpha = 3.0;
+    // Observe at four distinct ratios; the first must be evicted.
+    for (double x : {1.0, 0.9, 0.8, 0.7})
+        t.observe(x, 2.0 * std::pow(x, alpha));
+    EXPECT_EQ(t.samples(), 3u);
+    EXPECT_NEAR(t.model().exponent, alpha, 1e-9);
+}
+
+TEST(PowerLawTracker, RepeatRatioRefreshesInsteadOfEvicting)
+{
+    PowerLawTracker t(2.5, 3);
+    t.observe(1.0, 4.0);
+    t.observe(0.8, 2.0);
+    EXPECT_EQ(t.samples(), 2u);
+    // Same ratio again: history size unchanged, power smoothed.
+    t.observe(1.0, 6.0);
+    EXPECT_EQ(t.samples(), 2u);
+}
+
+TEST(PowerLawTracker, IgnoresNonPositivePower)
+{
+    PowerLawTracker t(2.5);
+    t.observe(1.0, 0.0);
+    t.observe(1.0, -3.0);
+    EXPECT_EQ(t.samples(), 0u);
+}
+
+TEST(PowerLawTracker, IgnoresOutOfRangeRatio)
+{
+    PowerLawTracker t(2.5);
+    t.observe(1.5, 2.0);
+    t.observe(-0.2, 2.0);
+    EXPECT_EQ(t.samples(), 0u);
+}
+
+TEST(PowerLawTracker, ExponentClampedForRobustness)
+{
+    PowerLawTracker t(2.5, 3, 0.3, 4.0);
+    // Pathological samples implying alpha ~ 9.
+    t.observe(1.0, 8.0);
+    t.observe(0.5, 8.0 * std::pow(0.5, 9.0));
+    const FittedModel m = t.model();
+    EXPECT_LE(m.exponent, 4.0);
+    // Scale re-anchored so prediction near the freshest sample.
+    const double pred = m.scale * std::pow(0.5, m.exponent);
+    EXPECT_NEAR(pred, 8.0 * std::pow(0.5, 9.0), 1e-9);
+}
+
+TEST(PowerLawTracker, NoisyFitTracksTruth)
+{
+    PowerLawTracker t(2.5, 3);
+    const double alpha = 2.9;
+    const double scale = 4.1;
+    double sign = 1.0;
+    for (double x : {1.0, 0.77, 0.55}) {
+        sign = -sign;
+        t.observe(x, scale * std::pow(x, alpha) * (1.0 + sign * 0.02));
+    }
+    const FittedModel m = t.model();
+    EXPECT_NEAR(m.exponent, alpha, 0.35);
+    EXPECT_NEAR(m.scale, scale, 0.4);
+}
+
+TEST(PowerLawTracker, HistoryBelowTwoIsFatal)
+{
+    EXPECT_THROW(PowerLawTracker(2.5, 1), FatalError);
+}
+
+TEST(ModelFitter, TracksAllCoresIndependently)
+{
+    ModelFitter f(3);
+    f.observeCore(0, 1.0, 4.0);
+    f.observeCore(0, 0.55, 4.0 * std::pow(0.55, 3.0));
+    f.observeCore(1, 1.0, 2.0);
+    // Core 0: fitted alpha=3; core 1: bootstrap; core 2: untouched.
+    EXPECT_NEAR(f.core(0).exponent, 3.0, 1e-9);
+    EXPECT_TRUE(f.core(0).fromFit);
+    EXPECT_FALSE(f.core(1).fromFit);
+    EXPECT_DOUBLE_EQ(f.core(2).scale, 0.0);
+    EXPECT_THROW(f.observeCore(9, 1.0, 1.0), std::out_of_range);
+}
+
+TEST(ModelFitter, MemoryUsesBetaDefault)
+{
+    ModelFitter f(1, 2.5, 1.0);
+    f.observeMemory(1.0, 14.0);
+    EXPECT_DOUBLE_EQ(f.memory().exponent, 1.0);
+    EXPECT_DOUBLE_EQ(f.memory().scale, 14.0);
+
+    // With a second sample the fitted beta emerges.
+    f.observeMemory(0.5, 7.5);
+    const double beta = f.memory().exponent;
+    EXPECT_NEAR(beta, std::log(7.5 / 14.0) / std::log(0.5), 1e-9);
+}
+
+} // namespace
+} // namespace fastcap

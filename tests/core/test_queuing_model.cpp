@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the Eq. 1 queuing model and turn-around computations,
+ * including the multi-controller weighted generalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/queuing_model.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+PolicyInputs
+twoCoreInputs()
+{
+    PolicyInputs in;
+    in.cores.resize(2);
+    in.cores[0].zbar = 100e-9;
+    in.cores[0].cache = 7.5e-9;
+    in.cores[1].zbar = 20e-9;
+    in.cores[1].cache = 7.5e-9;
+
+    ControllerModel ctl;
+    ctl.q = 1.5;
+    ctl.u = 2.0;
+    ctl.sm = 30e-9;
+    ctl.sbBar = 2e-9;
+    in.memory.controllers = {ctl};
+
+    in.accessProbs = {{1.0}, {1.0}};
+    in.coreRatios = {0.55, 0.775, 1.0};
+    in.memRatios = {0.25, 0.5, 1.0};
+    in.budget = 50.0;
+    return in;
+}
+
+TEST(QueuingModel, Eq1AtMaxFrequency)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    // R = Q (s_m + U s_b) = 1.5 (30 + 2*2) ns = 51 ns.
+    EXPECT_NEAR(qm.controllerResponse(0, 1.0), 51e-9, 1e-15);
+    EXPECT_NEAR(qm.minResponseTime(0), 51e-9, 1e-15);
+}
+
+TEST(QueuingModel, ResponseScalesWithTransferTime)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    // x_b = 0.5 -> s_b doubles: R = 1.5 (30 + 2*4) = 57 ns.
+    EXPECT_NEAR(qm.responseTime(0, 0.5), 57e-9, 1e-15);
+    // Monotone: lower memory ratio, higher response.
+    EXPECT_GT(qm.responseTime(0, 0.25), qm.responseTime(0, 0.5));
+    EXPECT_GT(qm.responseTime(0, 0.5), qm.responseTime(0, 1.0));
+}
+
+TEST(QueuingModel, MinTurnaroundComposition)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    EXPECT_NEAR(qm.minTurnaround(0), 100e-9 + 7.5e-9 + 51e-9, 1e-15);
+    EXPECT_NEAR(qm.minTurnaround(1), 20e-9 + 7.5e-9 + 51e-9, 1e-15);
+}
+
+TEST(QueuingModel, TurnaroundScalesThinkTime)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    // x_i = 0.5 doubles think time.
+    EXPECT_NEAR(qm.turnaround(0, 0.5, 1.0),
+                200e-9 + 7.5e-9 + 51e-9, 1e-15);
+}
+
+TEST(QueuingModel, PerformanceAtMaxIsOne)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    EXPECT_NEAR(qm.performance(0, 1.0, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(qm.performance(1, 1.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(QueuingModel, PerformanceDropsWithEitherRatio)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    EXPECT_LT(qm.performance(0, 0.6, 1.0), 1.0);
+    EXPECT_LT(qm.performance(0, 1.0, 0.5), 1.0);
+    EXPECT_LT(qm.performance(0, 0.6, 0.5),
+              qm.performance(0, 0.6, 1.0));
+}
+
+TEST(QueuingModel, MemoryRatioHurtsMemBoundCoreMore)
+{
+    // Core 1 has small z̄ (memory-bound): memory slowdown costs it a
+    // larger fraction of its performance than the compute-bound
+    // core 0. This asymmetry is what FastCap's fairness balances.
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    const double cpu_drop = qm.performance(0, 1.0, 0.25);
+    const double mem_drop = qm.performance(1, 1.0, 0.25);
+    EXPECT_LT(mem_drop, cpu_drop);
+}
+
+TEST(QueuingModel, InstructionRateUsesIpa)
+{
+    PolicyInputs in = twoCoreInputs();
+    in.cores[0].ipa = 500.0;
+    const QueuingModel qm(in);
+    const double rate = qm.instructionRate(0, 1.0, 1.0);
+    EXPECT_NEAR(rate, 500.0 / (158.5e-9), 1e-3 / 158.5e-9);
+}
+
+TEST(QueuingModel, MultiControllerWeightedResponse)
+{
+    PolicyInputs in = twoCoreInputs();
+    ControllerModel slow_ctl;
+    slow_ctl.q = 3.0;
+    slow_ctl.u = 4.0;
+    slow_ctl.sm = 60e-9;
+    slow_ctl.sbBar = 2e-9;
+    in.memory.controllers.push_back(slow_ctl);
+    in.accessProbs = {{0.75, 0.25}, {0.5, 0.5}};
+
+    const QueuingModel qm(in);
+    const Seconds r_fast = qm.controllerResponse(0, 1.0);
+    const Seconds r_slow = qm.controllerResponse(1, 1.0);
+    EXPECT_NEAR(qm.responseTime(0, 1.0),
+                0.75 * r_fast + 0.25 * r_slow, 1e-15);
+    EXPECT_NEAR(qm.responseTime(1, 1.0),
+                0.5 * (r_fast + r_slow), 1e-15);
+    // The more skewed-to-slow core sees the higher response.
+    EXPECT_GT(qm.responseTime(1, 1.0), qm.responseTime(0, 1.0));
+}
+
+TEST(QueuingModel, RejectsBadConstruction)
+{
+    PolicyInputs in = twoCoreInputs();
+    in.memory.controllers.clear();
+    EXPECT_THROW(QueuingModel qm(in), FatalError);
+
+    PolicyInputs in2 = twoCoreInputs();
+    in2.accessProbs.pop_back();
+    EXPECT_THROW(QueuingModel qm2(in2), FatalError);
+}
+
+TEST(QueuingModel, NonPositiveRatiosPanic)
+{
+    const PolicyInputs in = twoCoreInputs();
+    const QueuingModel qm(in);
+    EXPECT_THROW(qm.responseTime(0, 0.0), PanicError);
+    EXPECT_THROW(qm.turnaround(0, 0.0, 1.0), PanicError);
+}
+
+} // namespace
+} // namespace fastcap

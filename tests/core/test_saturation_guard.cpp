@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the memory-search saturation guard
+ * (minMemIndexForUtilisation): the Eq. 1 validity-domain restriction
+ * all policies share (DESIGN.md section 5, item 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/queuing_model.hpp"
+#include "core/solver.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+PolicyInputs
+baseInputs()
+{
+    PolicyInputs in;
+    in.cores.resize(2);
+    for (CoreModel &c : in.cores) {
+        c.zbar = 100e-9;
+        c.cache = 7.5e-9;
+        c.pi = 3.0;
+        c.alpha = 2.8;
+        c.pStatic = 1.0;
+        c.ipa = 500.0;
+    }
+    ControllerModel ctl;
+    ctl.q = 1.4;
+    ctl.u = 1.8;
+    ctl.sm = 33e-9;
+    ctl.sbBar = 2e-9;
+    ctl.arrivalRate = 0.0;
+    in.memory.controllers = {ctl};
+    in.memory.pm = 12.0;
+    in.memory.beta = 1.1;
+    in.memory.pStatic = 12.0;
+    in.accessProbs.assign(2, {1.0});
+    for (int i = 0; i < 10; ++i) {
+        in.coreRatios.push_back((2.2 + 0.2 * i) / 4.0);
+        in.memRatios.push_back((206.0 + 66.0 * i) / 800.0);
+    }
+    in.background = 10.0;
+    in.budget = 30.0;
+    return in;
+}
+
+TEST(SaturationGuard, IdleMemoryAllowsFullLadder)
+{
+    const PolicyInputs in = baseInputs();
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.9), 0u);
+}
+
+TEST(SaturationGuard, HeavyTrafficRaisesFloor)
+{
+    PolicyInputs in = baseInputs();
+    // sbBar = 2 ns: at x_b = 1 a rate of 450M/s gives util 0.9; at
+    // lower ratios the same rate saturates.
+    in.memory.controllers[0].arrivalRate = 300e6;
+    const std::size_t floor_idx = minMemIndexForUtilisation(in, 0.9);
+    EXPECT_GT(floor_idx, 0u);
+    // The returned level really is the first admissible one.
+    const double sb_bar = in.memory.controllers[0].sbBar;
+    EXPECT_LE(300e6 * sb_bar / in.memRatios[floor_idx], 0.9 + 1e-12);
+    if (floor_idx > 0) {
+        EXPECT_GT(300e6 * sb_bar / in.memRatios[floor_idx - 1], 0.9);
+    }
+}
+
+TEST(SaturationGuard, FullSaturationReturnsTopIndex)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 10e9; // absurd demand
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.9),
+              in.memRatios.size() - 1);
+}
+
+TEST(SaturationGuard, AnyControllerCanRaiseTheFloor)
+{
+    PolicyInputs in = baseInputs();
+    ControllerModel hot = in.memory.controllers[0];
+    hot.arrivalRate = 400e6;
+    in.memory.controllers.push_back(hot);
+    in.accessProbs.assign(2, {0.5, 0.5});
+    const std::size_t floor_idx = minMemIndexForUtilisation(in, 0.9);
+    EXPECT_GT(floor_idx, 0u);
+}
+
+TEST(SaturationGuard, DisabledByNonPositiveCap)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 10e9;
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.0),
+              in.memRatios.size() - 1)
+        << "cap <= 0 pins to the top (most conservative)";
+}
+
+TEST(SaturationGuard, SolverRespectsFloor)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 300e6;
+    in.budget = 1000.0; // abundant: memory choice driven by D only
+    const std::size_t floor_idx = minMemIndexForUtilisation(in, 0.9);
+
+    FastCapSolver solver(in);
+    const SolveResult res = solver.solve();
+    EXPECT_GE(res.memIndex, floor_idx);
+}
+
+TEST(SaturationGuard, TighterCapNeverLowersFloor)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 250e6;
+    const std::size_t loose = minMemIndexForUtilisation(in, 0.95);
+    const std::size_t tight = minMemIndexForUtilisation(in, 0.7);
+    EXPECT_GE(tight, loose);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the per-processor budget extension (Section III-B: "the
+ * optimization can be extended to capture per-processor power budgets
+ * by adding a constraint similar to constraint 6 for each
+ * processor").
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+/** Two-socket scenario: cores 0-1 on socket A, 2-3 on socket B. */
+PolicyInputs
+twoSocketInputs(double budget)
+{
+    PolicyInputs in;
+    in.cores.resize(4);
+    const double zbars[] = {600e-9, 500e-9, 550e-9, 450e-9};
+    for (int i = 0; i < 4; ++i) {
+        in.cores[i].zbar = zbars[i];
+        in.cores[i].cache = 7.5e-9;
+        in.cores[i].pi = 3.0;
+        in.cores[i].alpha = 2.8;
+        in.cores[i].pStatic = 1.0;
+        in.cores[i].ipa = 2000.0;
+    }
+    ControllerModel ctl;
+    ctl.q = 1.4;
+    ctl.u = 1.8;
+    ctl.sm = 33e-9;
+    ctl.sbBar = 1.875e-9;
+    in.memory.controllers = {ctl};
+    in.memory.pm = 12.0;
+    in.memory.beta = 1.1;
+    in.memory.pStatic = 12.0;
+    in.accessProbs.assign(4, {1.0});
+    for (int i = 0; i < 10; ++i) {
+        in.coreRatios.push_back((2.2 + 0.2 * i) / 4.0);
+        in.memRatios.push_back((206.0 + 66.0 * i) / 800.0);
+    }
+    in.background = 10.0;
+    in.budget = budget;
+    return in;
+}
+
+double
+socketPower(const PolicyInputs &in, const InnerSolution &sol,
+            std::size_t first, std::size_t count)
+{
+    double p = 0.0;
+    for (std::size_t i = first; i < first + count; ++i)
+        p += in.cores[i].pi *
+            std::pow(sol.coreRatios[i], in.cores[i].alpha) +
+            in.cores[i].pStatic;
+    return p;
+}
+
+TEST(SocketBudgets, LooseSocketBudgetsChangeNothing)
+{
+    const PolicyInputs in = twoSocketInputs(40.0);
+
+    FastCapSolver plain(in);
+    const SolveResult base = plain.solve();
+
+    SolverOptions opts;
+    opts.socketBudgets = {{0, 2, 100.0}, {2, 2, 100.0}};
+    FastCapSolver socketed(in, opts);
+    const SolveResult res = socketed.solve();
+
+    EXPECT_NEAR(res.best.d, base.best.d, 1e-9);
+    EXPECT_EQ(res.memIndex, base.memIndex);
+}
+
+TEST(SocketBudgets, TightSocketBudgetLowersD)
+{
+    const PolicyInputs in = twoSocketInputs(60.0);
+
+    FastCapSolver plain(in);
+    const SolveResult base = plain.solve();
+
+    SolverOptions opts;
+    // Socket A max power: 2 * (3.0 + 1.0) = 8 W; constrain to 5 W.
+    opts.socketBudgets = {{0, 2, 5.0}};
+    FastCapSolver socketed(in, opts);
+    const SolveResult res = socketed.solve();
+
+    EXPECT_LT(res.best.d, base.best.d);
+    // The constrained socket sits at (or under) its own budget.
+    EXPECT_LE(socketPower(in, res.best, 0, 2), 5.0 * 1.001 + 1e-9);
+}
+
+TEST(SocketBudgets, FairnessSharedAcrossSockets)
+{
+    // Even though only socket A is constrained, all cores run at the
+    // common D — socket B's applications degrade equally rather than
+    // racing ahead (system-wide fairness).
+    const PolicyInputs in = twoSocketInputs(60.0);
+    SolverOptions opts;
+    opts.socketBudgets = {{0, 2, 5.0}};
+    FastCapSolver solver(in, opts);
+    const SolveResult res = solver.solve();
+    const QueuingModel &qm = solver.queuing();
+
+    const double x_min = in.minCoreRatio();
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double x = res.best.coreRatios[i];
+        if (x <= x_min + 1e-9 || x >= 1.0 - 1e-9)
+            continue;
+        const double d = qm.performance(i, x, res.best.memRatio);
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+    }
+    EXPECT_LT(hi - lo, 1e-3);
+}
+
+TEST(SocketBudgets, FeasibilityFlagCoversSockets)
+{
+    const PolicyInputs in = twoSocketInputs(60.0);
+    SolverOptions opts;
+    // Below socket A's floor power (2 * (3.0 * 0.55^2.8 + 1.0) ~ 3.1).
+    opts.socketBudgets = {{0, 2, 2.0}};
+    FastCapSolver solver(in, opts);
+    const SolveResult res = solver.solve();
+    EXPECT_FALSE(res.best.budgetFeasible);
+    // Constrained cores pinned at the ladder floor.
+    EXPECT_NEAR(res.best.coreRatios[0], in.minCoreRatio(), 1e-9);
+    EXPECT_NEAR(res.best.coreRatios[1], in.minCoreRatio(), 1e-9);
+}
+
+TEST(SocketBudgets, OutOfRangeSocketIsFatal)
+{
+    const PolicyInputs in = twoSocketInputs(40.0);
+    SolverOptions opts;
+    opts.socketBudgets = {{3, 4, 10.0}};
+    FastCapSolver solver(in, opts);
+    EXPECT_THROW(solver.solve(), FatalError);
+
+    SolverOptions empty_range;
+    empty_range.socketBudgets = {{0, 0, 10.0}};
+    FastCapSolver solver2(in, empty_range);
+    EXPECT_THROW(solver2.solve(), FatalError);
+}
+
+TEST(SocketBudgets, BothSocketsTightMeansMinRules)
+{
+    const PolicyInputs in = twoSocketInputs(60.0);
+
+    SolverOptions only_a;
+    only_a.socketBudgets = {{0, 2, 5.0}};
+    FastCapSolver sa(in, only_a);
+    const double d_a = sa.solve().best.d;
+
+    SolverOptions only_b;
+    only_b.socketBudgets = {{2, 2, 4.5}};
+    FastCapSolver sb(in, only_b);
+    const double d_b = sb.solve().best.d;
+
+    SolverOptions both;
+    both.socketBudgets = {{0, 2, 5.0}, {2, 2, 4.5}};
+    FastCapSolver sboth(in, both);
+    const double d_both = sboth.solve().best.d;
+
+    EXPECT_NEAR(d_both, std::min(d_a, d_b), 1e-6);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Randomized property tests for the FastCap solver: across many
+ * deterministic random scenarios, the core invariants must hold —
+ * budget respected whenever feasible, Theorem-1 tightness, fairness
+ * of unclamped cores, binary search agreeing with exhaustive scan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "util/rng.hpp"
+
+namespace fastcap {
+namespace {
+
+/** Random heterogeneous scenario, deterministic per seed. */
+PolicyInputs
+randomInputs(std::uint64_t seed)
+{
+    Rng rng(seed);
+    PolicyInputs in;
+    const std::size_t n = 2 + rng.below(30); // 2..31 cores
+    in.cores.resize(n);
+    for (CoreModel &c : in.cores) {
+        c.zbar = rng.uniform(15e-9, 900e-9);
+        c.cache = 7.5e-9;
+        c.pi = rng.uniform(0.8, 4.0);
+        c.alpha = rng.uniform(2.0, 3.2);
+        c.pStatic = rng.uniform(0.6, 1.4);
+        c.ipa = rng.uniform(50.0, 3000.0);
+    }
+
+    const std::size_t controllers = 1 + rng.below(3);
+    for (std::size_t k = 0; k < controllers; ++k) {
+        ControllerModel ctl;
+        ctl.q = rng.uniform(1.0, 4.0);
+        ctl.u = rng.uniform(1.0, 4.0);
+        ctl.sm = rng.uniform(20e-9, 60e-9);
+        ctl.sbBar = rng.uniform(1e-9, 4e-9);
+        ctl.arrivalRate = rng.uniform(0.0, 200e6);
+        in.memory.controllers.push_back(ctl);
+    }
+    in.memory.pm = rng.uniform(6.0, 20.0);
+    in.memory.beta = rng.uniform(0.8, 1.4);
+    in.memory.pStatic = rng.uniform(8.0, 16.0);
+
+    in.accessProbs.resize(n);
+    for (auto &row : in.accessProbs) {
+        row.resize(controllers);
+        double sum = 0.0;
+        for (double &p : row) {
+            p = rng.uniform(0.05, 1.0);
+            sum += p;
+        }
+        for (double &p : row)
+            p /= sum;
+    }
+
+    for (int i = 0; i < 10; ++i) {
+        in.coreRatios.push_back((2.2 + 0.2 * i) / 4.0);
+        in.memRatios.push_back((206.0 + 66.0 * i) / 800.0);
+    }
+    in.background = 10.0;
+
+    double max_power = in.staticPower() + in.memory.pm;
+    for (const CoreModel &c : in.cores)
+        max_power += c.pi;
+    in.budget = rng.uniform(0.35, 1.05) * max_power;
+    return in;
+}
+
+class SolverFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SolverFuzz, InvariantsHold)
+{
+    const PolicyInputs in = randomInputs(GetParam());
+    FastCapSolver solver(in);
+    const SolveResult res = solver.solve();
+    const QueuingModel &qm = solver.queuing();
+
+    // Decision shape.
+    ASSERT_EQ(res.best.coreRatios.size(), in.cores.size());
+    ASSERT_LT(res.memIndex, in.memRatios.size());
+
+    // Ratios within the ladder range.
+    const double x_min = in.minCoreRatio();
+    for (double x : res.best.coreRatios) {
+        EXPECT_GE(x, x_min - 1e-12);
+        EXPECT_LE(x, 1.0 + 1e-12);
+    }
+
+    // Power consistency: reported prediction matches Eq. 6's LHS.
+    const Watts recomputed =
+        solver.power(res.best.coreRatios, res.best.memRatio);
+    EXPECT_NEAR(recomputed, res.best.predictedPower,
+                1e-6 * std::max(1.0, recomputed));
+
+    if (res.best.budgetFeasible) {
+        // Budget respected...
+        EXPECT_LE(res.best.predictedPower, in.budget * (1.0 + 2e-3));
+        EXPECT_GT(res.best.d, 0.0);
+
+        // ...and fairness: every unclamped core at the common D.
+        for (std::size_t i = 0; i < in.cores.size(); ++i) {
+            const double x = res.best.coreRatios[i];
+            if (x <= x_min + 1e-9 || x >= 1.0 - 1e-9)
+                continue;
+            const double d_i =
+                qm.performance(i, x, res.best.memRatio);
+            EXPECT_NEAR(d_i, res.best.d,
+                        1e-3 * std::max(res.best.d, 1e-6))
+                << "core " << i << " seed " << GetParam();
+        }
+    } else {
+        // Infeasible: everything pinned at the floor.
+        for (double x : res.best.coreRatios)
+            EXPECT_NEAR(x, x_min, 1e-9);
+    }
+
+    // Binary search (already used above) agrees with the exhaustive
+    // reference.
+    SolverOptions exhaustive;
+    exhaustive.exhaustiveMemSearch = true;
+    FastCapSolver full(in, exhaustive);
+    const SolveResult ref = full.solve();
+    EXPECT_NEAR(res.best.d, ref.best.d,
+                1e-4 * std::max(std::abs(ref.best.d), 1e-9))
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the metrics module (normalized performance,
+ * fairness, power summaries) on synthetic results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+ExperimentResult
+syntheticResult(const std::vector<double> &tpis, double peak = 100.0)
+{
+    ExperimentResult res;
+    res.peakPower = peak;
+    res.budget = 60.0;
+    res.budgetFraction = 0.6;
+    for (std::size_t i = 0; i < tpis.size(); ++i) {
+        AppResult app;
+        app.app = "app" + std::to_string(i);
+        app.core = static_cast<int>(i);
+        app.completed = true;
+        app.tpi = tpis[i];
+        app.completionTime = tpis[i] * 1e8;
+        res.apps.push_back(app);
+    }
+    return res;
+}
+
+EpochRecord
+epoch(int n, double power, double budget = 60.0)
+{
+    EpochRecord e;
+    e.epoch = n;
+    e.totalPower = power;
+    e.budget = budget;
+    return e;
+}
+
+TEST(Metrics, NormalizedCpiPerApp)
+{
+    const ExperimentResult base = syntheticResult({1.0e-9, 2.0e-9});
+    const ExperimentResult capped = syntheticResult({1.5e-9, 2.2e-9});
+    const PerfComparison cmp = comparePerformance(capped, base);
+    ASSERT_EQ(cmp.perApp.size(), 2u);
+    EXPECT_NEAR(cmp.perApp[0], 1.5, 1e-12);
+    EXPECT_NEAR(cmp.perApp[1], 1.1, 1e-12);
+    EXPECT_NEAR(cmp.average, 1.3, 1e-12);
+    EXPECT_NEAR(cmp.worst, 1.5, 1e-12);
+    EXPECT_NEAR(cmp.unfairness, 1.5 / 1.3, 1e-12);
+}
+
+TEST(Metrics, MismatchedAppsAreFatal)
+{
+    const ExperimentResult base = syntheticResult({1e-9});
+    const ExperimentResult capped = syntheticResult({1e-9, 2e-9});
+    EXPECT_THROW(comparePerformance(capped, base), FatalError);
+}
+
+TEST(Metrics, IncompleteAppsSkippedWithWarning)
+{
+    ExperimentResult base = syntheticResult({1e-9, 2e-9});
+    ExperimentResult capped = syntheticResult({2e-9, 3e-9});
+    capped.apps[1].completed = false;
+    const PerfComparison cmp = comparePerformance(capped, base);
+    EXPECT_EQ(cmp.perApp.size(), 1u);
+    EXPECT_NEAR(cmp.average, 2.0, 1e-12);
+}
+
+TEST(Metrics, AllIncompleteIsFatal)
+{
+    ExperimentResult base = syntheticResult({1e-9});
+    ExperimentResult capped = syntheticResult({2e-9});
+    capped.apps[0].completed = false;
+    EXPECT_THROW(comparePerformance(capped, base), FatalError);
+}
+
+TEST(Metrics, MergePoolsApps)
+{
+    PerfComparison a;
+    a.perApp = {1.2, 1.4};
+    PerfComparison b;
+    b.perApp = {1.1, 1.9};
+    const PerfComparison m = mergeComparisons({a, b});
+    EXPECT_EQ(m.perApp.size(), 4u);
+    EXPECT_NEAR(m.average, (1.2 + 1.4 + 1.1 + 1.9) / 4.0, 1e-12);
+    EXPECT_NEAR(m.worst, 1.9, 1e-12);
+}
+
+TEST(Metrics, MergeEmptyIsFatal)
+{
+    EXPECT_THROW(mergeComparisons({}), FatalError);
+}
+
+TEST(Metrics, PowerSummaryCountsOvershoots)
+{
+    ExperimentResult res = syntheticResult({1e-9});
+    res.epochs = {epoch(0, 58.0), epoch(1, 66.0), epoch(2, 59.0),
+                  epoch(3, 63.0)};
+    const PowerSummary s = summarizePower(res);
+    EXPECT_NEAR(s.avgFraction, (58 + 66 + 59 + 63) / 4.0 / 100.0,
+                1e-12);
+    EXPECT_NEAR(s.maxFraction, 0.66, 1e-12);
+    EXPECT_NEAR(s.overshootShare, 0.5, 1e-12);
+    EXPECT_NEAR(s.worstOvershoot, 6.0 / 60.0, 1e-12);
+}
+
+TEST(Metrics, TrackingErrorIsMeanRelativeDeviation)
+{
+    ExperimentResult res = syntheticResult({1e-9});
+    res.epochs = {epoch(0, 54.0), epoch(1, 66.0)};
+    // |54-60|/60 = 0.1; |66-60|/60 = 0.1 -> mean 0.1.
+    EXPECT_NEAR(budgetTrackingError(res), 0.1, 1e-12);
+}
+
+TEST(Metrics, EmptyEpochLogsAreSafe)
+{
+    const ExperimentResult res = syntheticResult({1e-9});
+    EXPECT_DOUBLE_EQ(budgetTrackingError(res), 0.0);
+    const PowerSummary s = summarizePower(res);
+    EXPECT_DOUBLE_EQ(s.overshootShare, 0.0);
+    EXPECT_DOUBLE_EQ(res.averagePower(), 0.0);
+    EXPECT_DOUBLE_EQ(res.maxEpochPower(), 0.0);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Integration tests for the experiment runner: epoch mechanics,
+ * completion semantics, determinism, peak-power measurement and
+ * mid-run budget changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fastcap_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/peak_power.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace {
+
+ExperimentConfig
+quickConfig(double budget = 0.6, double instr = 10e6)
+{
+    ExperimentConfig cfg;
+    cfg.budgetFraction = budget;
+    cfg.targetInstructions = instr;
+    cfg.maxEpochs = 300;
+    return cfg;
+}
+
+TEST(Experiment, RunsToCompletionAndRecordsEpochs)
+{
+    const ExperimentResult res = runWorkload(
+        "MID1", "FastCap", quickConfig(), SimConfig::defaultConfig(16));
+    EXPECT_TRUE(res.allCompleted());
+    EXPECT_FALSE(res.epochs.empty());
+    EXPECT_EQ(res.apps.size(), 16u);
+    EXPECT_EQ(res.policy, "FastCap");
+    EXPECT_EQ(res.workload, "MID1");
+    EXPECT_GT(res.budget, 0.0);
+    EXPECT_GT(res.peakPower, res.budget);
+
+    for (const AppResult &a : res.apps) {
+        EXPECT_TRUE(a.completed) << a.app;
+        EXPECT_GT(a.completionTime, 0.0);
+        EXPECT_GT(a.tpi, 0.0);
+    }
+    // Epoch records have sane shapes.
+    for (const EpochRecord &e : res.epochs) {
+        EXPECT_EQ(e.coreFreqIdx.size(), 16u);
+        EXPECT_GT(e.totalPower, 0.0);
+        EXPECT_NEAR(e.totalPower,
+                    e.corePower + e.memPower + 10.0, 1e-6);
+    }
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(8);
+    const ExperimentResult a =
+        runWorkload("MIX1", "FastCap", quickConfig(), scfg);
+    const ExperimentResult b =
+        runWorkload("MIX1", "FastCap", quickConfig(), scfg);
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.epochs[i].totalPower,
+                         b.epochs[i].totalPower);
+        EXPECT_EQ(a.epochs[i].memFreqIdx, b.epochs[i].memFreqIdx);
+    }
+    for (std::size_t i = 0; i < a.apps.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.apps[i].completionTime,
+                         b.apps[i].completionTime);
+}
+
+TEST(Experiment, UncappedFinishesFasterThanCapped)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    const ExperimentResult capped =
+        runWorkload("ILP2", "FastCap", quickConfig(0.5), scfg);
+    const ExperimentResult base =
+        runWorkload("ILP2", "Uncapped", quickConfig(0.5), scfg);
+    ASSERT_TRUE(capped.allCompleted());
+    ASSERT_TRUE(base.allCompleted());
+    for (std::size_t i = 0; i < capped.apps.size(); ++i)
+        EXPECT_GE(capped.apps[i].tpi, base.apps[i].tpi * 0.98);
+}
+
+TEST(Experiment, PeakPowerMatchesPaperScale)
+{
+    // Paper: ~120 W at 16 cores, ~60 W at 4, ~210 at 32, ~375 at 64.
+    // Our measured peaks must land in the same bands (within ~25%).
+    const Watts p16 = measuredPeakPower(SimConfig::defaultConfig(16));
+    EXPECT_GT(p16, 85.0);
+    EXPECT_LT(p16, 150.0);
+
+    const Watts p4 = measuredPeakPower(SimConfig::defaultConfig(4));
+    EXPECT_GT(p4, 35.0);
+    EXPECT_LT(p4, 80.0);
+
+    const Watts p64 = measuredPeakPower(SimConfig::defaultConfig(64));
+    EXPECT_GT(p64, 280.0);
+    EXPECT_LT(p64, 470.0);
+
+    // Monotone in core count.
+    const Watts p32 = measuredPeakPower(SimConfig::defaultConfig(32));
+    EXPECT_GT(p32, p16);
+    EXPECT_GT(p64, p32);
+}
+
+TEST(Experiment, PeakPowerMemoized)
+{
+    const SimConfig cfg = SimConfig::defaultConfig(16);
+    const Watts a = measuredPeakPower(cfg);
+    const Watts b = measuredPeakPower(cfg);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Experiment, BudgetChangeMidRunShiftsPower)
+{
+    SimConfig scfg = SimConfig::defaultConfig(16);
+    auto policy = FastCapPolicy();
+    ExperimentConfig ecfg = quickConfig(0.8, 100e6);
+    ExperimentRunner runner(scfg, workloads::mix("ILP2", 16), policy,
+                            ecfg);
+
+    // Warm epochs at 80%, then drop to 45%.
+    std::vector<double> high_powers;
+    for (int e = 0; e < 6; ++e)
+        high_powers.push_back(runner.step().totalPower);
+    runner.budgetFraction(0.45);
+    for (int e = 0; e < 2; ++e)
+        runner.step(); // settle
+    std::vector<double> low_powers;
+    for (int e = 0; e < 4; ++e)
+        low_powers.push_back(runner.step().totalPower);
+
+    double high_avg = 0.0;
+    for (double p : high_powers)
+        high_avg += p;
+    high_avg /= high_powers.size();
+    double low_avg = 0.0;
+    for (double p : low_powers)
+        low_avg += p;
+    low_avg /= low_powers.size();
+
+    EXPECT_LT(low_avg, high_avg * 0.85)
+        << "power must track the reduced budget";
+    EXPECT_LT(low_avg, 0.52 * runner.peakPower());
+}
+
+TEST(Experiment, InvalidConfigsAreFatal)
+{
+    SimConfig scfg = SimConfig::defaultConfig(4);
+    auto policy = FastCapPolicy();
+    ExperimentConfig bad = quickConfig();
+    bad.budgetFraction = 1.5;
+    EXPECT_THROW(ExperimentRunner(scfg, workloads::mix("ILP1", 4),
+                                  policy, bad),
+                 FatalError);
+    bad = quickConfig();
+    bad.targetInstructions = 0.0;
+    EXPECT_THROW(ExperimentRunner(scfg, workloads::mix("ILP1", 4),
+                                  policy, bad),
+                 FatalError);
+}
+
+TEST(Experiment, MaxEpochsBoundsRun)
+{
+    ExperimentConfig cfg = quickConfig(0.6, 1e12); // unreachable
+    cfg.maxEpochs = 5;
+    const ExperimentResult res = runWorkload(
+        "ILP1", "FastCap", cfg, SimConfig::defaultConfig(4));
+    EXPECT_FALSE(res.allCompleted());
+    EXPECT_EQ(res.epochs.size(), 5u);
+}
+
+TEST(Experiment, LastInputsExposeCounters)
+{
+    SimConfig scfg = SimConfig::defaultConfig(4);
+    auto policy = FastCapPolicy();
+    ExperimentRunner runner(scfg, workloads::mix("MEM2", 4), policy,
+                            quickConfig());
+    runner.step();
+    const PolicyInputs &in = runner.lastInputs();
+    ASSERT_EQ(in.cores.size(), 4u);
+    for (const CoreModel &c : in.cores) {
+        EXPECT_GT(c.zbar, 0.0);
+        EXPECT_GT(c.ipa, 0.0);
+        EXPECT_GT(c.pi, 0.0);
+        EXPECT_GE(c.alpha, 0.3);
+        EXPECT_LE(c.alpha, 4.0);
+    }
+    ASSERT_EQ(in.memory.controllers.size(), 1u);
+    EXPECT_GE(in.memory.controllers[0].q, 1.0);
+    EXPECT_GT(in.memory.controllers[0].sm, 0.0);
+    EXPECT_GT(in.budget, 0.0);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end fairness: FastCap's worst application performance must
+ * sit close to the average (no outliers), and must be fairer than the
+ * throughput/efficiency-driven baselines on heterogeneous mixes —
+ * Figures 6, 9 and 11 of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+
+namespace fastcap {
+namespace {
+
+ExperimentConfig
+cfgWith(double budget, double instr = 10e6)
+{
+    ExperimentConfig cfg;
+    cfg.budgetFraction = budget;
+    cfg.targetInstructions = instr;
+    cfg.maxEpochs = 400;
+    return cfg;
+}
+
+PerfComparison
+compare(const std::string &wl, const std::string &policy,
+        double budget, const SimConfig &scfg)
+{
+    const ExperimentResult capped =
+        runWorkload(wl, policy, cfgWith(budget), scfg);
+    const ExperimentResult base =
+        runWorkload(wl, "Uncapped", cfgWith(budget), scfg);
+    return comparePerformance(capped, base);
+}
+
+TEST(Fairness, FastCapWorstCloseToAverage)
+{
+    // The paper's headline fairness result (Fig. 6): worst ~ average.
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    for (const char *wl : {"ILP1", "MID2", "MEM2", "MIX4"}) {
+        const PerfComparison c = compare(wl, "FastCap", 0.6, scfg);
+        EXPECT_LT(c.unfairness, 1.22)
+            << wl << ": worst " << c.worst << " avg " << c.average;
+    }
+}
+
+TEST(Fairness, CappedRunsAreSlowedButBounded)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    const PerfComparison c = compare("MID1", "FastCap", 0.6, scfg);
+    // Normalized CPI >= ~1 (slower than uncapped), but not absurd.
+    EXPECT_GT(c.average, 0.98);
+    EXPECT_LT(c.worst, 3.0);
+}
+
+TEST(Fairness, MemDegradesLessThanIlpUnderSameBudget)
+{
+    // Paper Fig. 6: MEM workloads lose less performance than ILP at
+    // the same budget because they draw less power to begin with.
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    const PerfComparison ilp = compare("ILP1", "FastCap", 0.6, scfg);
+    const PerfComparison mem = compare("MEM1", "FastCap", 0.6, scfg);
+    EXPECT_LT(mem.average, ilp.average);
+}
+
+TEST(Fairness, HigherBudgetsDegradeLess)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    const PerfComparison b50 = compare("MID4", "FastCap", 0.5, scfg);
+    const PerfComparison b70 = compare("MID4", "FastCap", 0.7, scfg);
+    EXPECT_LE(b70.average, b50.average * 1.02);
+    EXPECT_LE(b70.worst, b50.worst * 1.05);
+}
+
+TEST(Fairness, FastCapFairerThanMaxBipsOnMix)
+{
+    // Fig. 11 (4 cores): MaxBIPS may win on average but loses badly
+    // on worst-application performance.
+    const SimConfig scfg = SimConfig::defaultConfig(4);
+    const PerfComparison fc = compare("MIX1", "FastCap", 0.6, scfg);
+    const PerfComparison mb = compare("MIX1", "MaxBIPS", 0.6, scfg);
+    EXPECT_LE(fc.unfairness, mb.unfairness * 1.05)
+        << "FastCap worst/avg " << fc.worst << "/" << fc.average
+        << " vs MaxBIPS " << mb.worst << "/" << mb.average;
+}
+
+TEST(Fairness, FastCapNoWorseThanCpuOnlyOnAverage)
+{
+    // Fig. 9: FastCap performs at least as well as CPU-only; memory
+    // DVFS only adds freedom.
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    for (const char *wl : {"ILP2", "MIX2"}) {
+        const PerfComparison fc = compare(wl, "FastCap", 0.6, scfg);
+        const PerfComparison co = compare(wl, "CPU-only", 0.6, scfg);
+        EXPECT_LE(fc.average, co.average * 1.06) << wl;
+    }
+}
+
+TEST(Fairness, EqlPwrProducesWorseOutliers)
+{
+    // Fig. 9: Eql-Pwr's worst application loss exceeds FastCap's on
+    // mixes of CPU- and memory-bound applications.
+    const SimConfig scfg = SimConfig::defaultConfig(16);
+    const PerfComparison fc = compare("MIX4", "FastCap", 0.6, scfg);
+    const PerfComparison ep = compare("MIX4", "Eql-Pwr", 0.6, scfg);
+    EXPECT_LE(fc.worst, ep.worst * 1.08)
+        << "FastCap worst " << fc.worst << " vs Eql-Pwr " << ep.worst;
+}
+
+TEST(Fairness, MergeComparisonsAggregatesClasses)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(8);
+    const PerfComparison a = compare("ILP1", "FastCap", 0.6, scfg);
+    const PerfComparison b = compare("ILP2", "FastCap", 0.6, scfg);
+    const PerfComparison merged = mergeComparisons({a, b});
+    EXPECT_EQ(merged.perApp.size(), a.perApp.size() + b.perApp.size());
+    EXPECT_GE(merged.worst, std::max(a.worst, b.worst) - 1e-12);
+    EXPECT_LE(merged.average,
+              std::max(a.average, b.average) + 1e-12);
+}
+
+} // namespace
+} // namespace fastcap

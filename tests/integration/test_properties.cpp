@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cross-cutting end-to-end properties: out-of-order mode, multiple
+ * memory controllers, epoch-length robustness, and conservation
+ * invariants — the Section IV-B robustness studies as tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace {
+
+ExperimentConfig
+quick(double budget = 0.6, double instr = 8e6)
+{
+    ExperimentConfig cfg;
+    cfg.budgetFraction = budget;
+    cfg.targetInstructions = instr;
+    cfg.maxEpochs = 400;
+    return cfg;
+}
+
+TEST(Properties, OutOfOrderModeCapsPower)
+{
+    SimConfig scfg = SimConfig::defaultConfig(16);
+    scfg.execMode = ExecMode::OutOfOrder;
+    const ExperimentResult res =
+        runWorkload("MEM2", "FastCap", quick(), scfg);
+    ASSERT_TRUE(res.allCompleted());
+    EXPECT_LE(res.averagePowerFraction(), 0.62);
+}
+
+TEST(Properties, OutOfOrderFasterThanInOrderUncapped)
+{
+    // Idealized OoO overlaps misses: memory-bound apps finish sooner
+    // as long as the memory itself is not saturated — use 4 cores so
+    // the bus has headroom for the extra parallelism.
+    SimConfig ino = SimConfig::defaultConfig(4);
+    SimConfig ooo = SimConfig::defaultConfig(4);
+    ooo.execMode = ExecMode::OutOfOrder;
+
+    // Long enough to leave the sparse-miss opening phase, where the
+    // 128-entry window holds no more than one miss anyway.
+    const ExperimentResult r_ino =
+        runWorkload("MEM1", "Uncapped", quick(0.6, 25e6), ino);
+    const ExperimentResult r_ooo =
+        runWorkload("MEM1", "Uncapped", quick(0.6, 25e6), ooo);
+    ASSERT_TRUE(r_ino.allCompleted());
+    ASSERT_TRUE(r_ooo.allCompleted());
+
+    double t_ino = 0.0;
+    double t_ooo = 0.0;
+    for (std::size_t i = 0; i < r_ino.apps.size(); ++i) {
+        t_ino += r_ino.apps[i].tpi;
+        t_ooo += r_ooo.apps[i].tpi;
+    }
+    EXPECT_LT(t_ooo, t_ino);
+}
+
+TEST(Properties, OutOfOrderStillFair)
+{
+    // Paper: "FastCap is still able to provide fairness in OoO".
+    SimConfig scfg = SimConfig::defaultConfig(16);
+    scfg.execMode = ExecMode::OutOfOrder;
+    const ExperimentResult capped =
+        runWorkload("MIX2", "FastCap", quick(), scfg);
+    const ExperimentResult base =
+        runWorkload("MIX2", "Uncapped", quick(), scfg);
+    const PerfComparison c = comparePerformance(capped, base);
+    EXPECT_LT(c.unfairness, 1.25);
+}
+
+SimConfig
+fourControllerConfig(bool skewed)
+{
+    SimConfig cfg = SimConfig::defaultConfig(16);
+    cfg.numControllers = 4;
+    cfg.banksPerController = 8;
+    cfg.busBurstCycles = 6.0; // one channel per controller
+    if (skewed) {
+        cfg.interleave = InterleaveMode::Skewed;
+        cfg.skewHotFraction = 0.7;
+    }
+    return cfg;
+}
+
+TEST(Properties, MultiControllerUniformCapsAndCompletes)
+{
+    const ExperimentResult res = runWorkload(
+        "MEM2", "FastCap", quick(), fourControllerConfig(false));
+    ASSERT_TRUE(res.allCompleted());
+    EXPECT_LE(res.averagePowerFraction(), 0.63);
+}
+
+TEST(Properties, MultiControllerSkewedStaysFair)
+{
+    // Paper Fig. 13: fairness holds even under highly skewed access
+    // distributions across controllers.
+    const SimConfig scfg = fourControllerConfig(true);
+    const ExperimentResult capped =
+        runWorkload("MEM2", "FastCap", quick(), scfg);
+    const ExperimentResult base =
+        runWorkload("MEM2", "Uncapped", quick(), scfg);
+    ASSERT_TRUE(capped.allCompleted());
+    const PerfComparison c = comparePerformance(capped, base);
+    EXPECT_LT(c.unfairness, 1.3);
+}
+
+TEST(Properties, EpochLengthInsensitive)
+{
+    // Paper: 10 ms and 20 ms epochs do not change FastCap's ability
+    // to control power.
+    for (double epoch_ms : {5.0, 10.0, 20.0}) {
+        SimConfig scfg = SimConfig::defaultConfig(16);
+        scfg.epochLength = epoch_ms * 1e-3;
+        const ExperimentResult res =
+            runWorkload("MID3", "FastCap", quick(), scfg);
+        ASSERT_TRUE(res.allCompleted()) << epoch_ms;
+        EXPECT_LE(res.averagePowerFraction(), 0.63) << epoch_ms;
+    }
+}
+
+TEST(Properties, CoreCountScaling)
+{
+    // Fig. 12: capping holds at 16/32/64 cores.
+    for (int cores : {16, 32, 64}) {
+        const ExperimentResult res = runWorkload(
+            "MIX1", "FastCap", quick(0.6, 4e6),
+            SimConfig::defaultConfig(cores));
+        ASSERT_TRUE(res.allCompleted()) << cores;
+        EXPECT_LE(res.averagePowerFraction(), 0.63) << cores;
+    }
+}
+
+TEST(Properties, SolverOverheadScalesLinearlyInCores)
+{
+    // Table I / Section IV-B: the per-epoch decision work is linear
+    // in N — evaluations stay O(log M) regardless of N.
+    for (int cores : {16, 64}) {
+        const ExperimentResult res = runWorkload(
+            "MID1", "FastCap", quick(0.6, 3e6),
+            SimConfig::defaultConfig(cores));
+        for (const EpochRecord &e : res.epochs)
+            EXPECT_LE(e.evaluations, 10) << cores;
+    }
+}
+
+TEST(Properties, InstructionProgressMonotone)
+{
+    SimConfig scfg = SimConfig::defaultConfig(8);
+    const ExperimentResult res =
+        runWorkload("MIX3", "FastCap", quick(), scfg);
+    // ips is a rate: always nonnegative; completion times ordered
+    // sensibly (all within the run).
+    for (const EpochRecord &e : res.epochs)
+        for (double ips : e.ips)
+            EXPECT_GE(ips, 0.0);
+    const Seconds total = static_cast<double>(res.epochs.size()) *
+        scfg.epochLength;
+    for (const AppResult &a : res.apps) {
+        EXPECT_GT(a.completionTime, 0.0);
+        EXPECT_LE(a.completionTime, total + scfg.epochLength);
+    }
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared fixture inputs for baseline-policy tests: a heterogeneous
+ * 4-core scenario with paper-like ladders.
+ */
+
+#ifndef FASTCAP_TESTS_POLICIES_TEST_COMMON_HPP
+#define FASTCAP_TESTS_POLICIES_TEST_COMMON_HPP
+
+#include <cmath>
+
+#include "core/inputs.hpp"
+
+namespace fastcap {
+namespace testing_support {
+
+/** Heterogeneous inputs: cores 0..1 compute-bound, 3 memory-bound. */
+inline PolicyInputs
+heterogeneousInputs(double budget)
+{
+    PolicyInputs in;
+    in.cores.resize(4);
+    const double zbars[] = {600e-9, 500e-9, 120e-9, 25e-9};
+    const double pis[] = {3.2, 3.0, 2.4, 1.2};
+    const double ipas[] = {2700.0, 2400.0, 500.0, 55.0};
+    for (int i = 0; i < 4; ++i) {
+        in.cores[i].zbar = zbars[i];
+        in.cores[i].cache = 7.5e-9;
+        in.cores[i].pi = pis[i];
+        in.cores[i].alpha = 2.8;
+        in.cores[i].pStatic = 1.0;
+        in.cores[i].ipa = ipas[i];
+        in.cores[i].measuredPower = pis[i] * 0.9 + 1.0;
+        in.cores[i].measuredIps = ipas[i] / (zbars[i] + 60e-9);
+    }
+    ControllerModel ctl;
+    ctl.q = 1.4;
+    ctl.u = 1.8;
+    ctl.sm = 33e-9;
+    ctl.sbBar = 1.875e-9;
+    in.memory.controllers = {ctl};
+    in.memory.pm = 12.0;
+    in.memory.beta = 1.1;
+    in.memory.pStatic = 12.0;
+    in.memory.measuredPower = 24.0;
+    in.accessProbs.assign(4, {1.0});
+    for (int i = 0; i < 10; ++i) {
+        in.coreRatios.push_back((2.2 + 0.2 * i) / 4.0);
+        in.memRatios.push_back((206.0 + 66.0 * i) / 800.0);
+    }
+    in.background = 10.0;
+    in.budget = budget;
+    return in;
+}
+
+/** Eq. 6 left-hand side at an explicit decision. */
+inline double
+decisionPower(const PolicyInputs &in, const PolicyDecision &dec)
+{
+    double p = in.staticPower();
+    for (std::size_t i = 0; i < in.cores.size(); ++i) {
+        const double x = in.coreRatios.at(dec.coreFreqIdx.at(i));
+        p += in.cores[i].pi * std::pow(x, in.cores[i].alpha);
+    }
+    p += in.memory.pm *
+        std::pow(in.memRatios.at(dec.memFreqIdx), in.memory.beta);
+    return p;
+}
+
+} // namespace testing_support
+} // namespace fastcap
+
+#endif // FASTCAP_TESTS_POLICIES_TEST_COMMON_HPP

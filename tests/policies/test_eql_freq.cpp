@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the Eql-Freq baseline: single global frequency, budget
+ * adherence, and the conservatism the paper demonstrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policies/eql_freq.hpp"
+#include "test_common.hpp"
+
+namespace fastcap {
+namespace {
+
+using testing_support::decisionPower;
+using testing_support::heterogeneousInputs;
+
+TEST(EqlFreq, AllCoresShareOneFrequency)
+{
+    EqlFreqPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(45.0));
+    for (std::size_t idx : dec.coreFreqIdx)
+        EXPECT_EQ(idx, dec.coreFreqIdx[0]);
+}
+
+TEST(EqlFreq, RespectsBudgetModelPower)
+{
+    EqlFreqPolicy policy;
+    for (double budget : {35.0, 45.0, 55.0, 70.0}) {
+        const PolicyInputs in = heterogeneousInputs(budget);
+        const PolicyDecision dec = policy.decide(in);
+        EXPECT_LE(decisionPower(in, dec), budget * 1.001);
+    }
+}
+
+TEST(EqlFreq, AbundantBudgetMaxesOut)
+{
+    EqlFreqPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(500.0));
+    EXPECT_EQ(dec.coreFreqIdx[0], 9u);
+    EXPECT_EQ(dec.memFreqIdx, 9u);
+}
+
+TEST(EqlFreq, LeavesBudgetUnharvestedVsPerCore)
+{
+    // The lockstep constraint wastes headroom: whatever Eql-Freq
+    // consumes is at most what a per-core policy could; strictly less
+    // whenever the next global step would overshoot.
+    EqlFreqPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(47.0);
+    const PolicyDecision dec = policy.decide(in);
+    const double used = decisionPower(in, dec);
+    EXPECT_LE(used, in.budget);
+
+    // Raising all cores one level must overshoot (otherwise the
+    // search would have taken it).
+    if (dec.coreFreqIdx[0] < 9) {
+        PolicyDecision up = dec;
+        for (auto &idx : up.coreFreqIdx)
+            ++idx;
+        EXPECT_GT(decisionPower(in, up), in.budget);
+    }
+}
+
+TEST(EqlFreq, InfeasibleBudgetFallsToFloor)
+{
+    EqlFreqPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(10.0));
+    EXPECT_EQ(dec.coreFreqIdx[0], 0u);
+    EXPECT_EQ(dec.memFreqIdx, 0u);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the Eql-Pwr baseline: equal per-core power shares, budget
+ * adherence, and the heterogeneity blindness the paper criticises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "policies/eql_pwr.hpp"
+#include "test_common.hpp"
+
+namespace fastcap {
+namespace {
+
+using testing_support::decisionPower;
+using testing_support::heterogeneousInputs;
+
+TEST(EqlPwr, RespectsBudgetModelPower)
+{
+    EqlPwrPolicy policy;
+    for (double budget : {35.0, 45.0, 55.0}) {
+        const PolicyInputs in = heterogeneousInputs(budget);
+        const PolicyDecision dec = policy.decide(in);
+        EXPECT_LE(decisionPower(in, dec), budget * 1.001)
+            << "budget " << budget;
+    }
+}
+
+TEST(EqlPwr, AbundantBudgetMaxesOut)
+{
+    EqlPwrPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(500.0));
+    for (std::size_t idx : dec.coreFreqIdx)
+        EXPECT_EQ(idx, 9u);
+    EXPECT_EQ(dec.memFreqIdx, 9u);
+}
+
+TEST(EqlPwr, EqualSharesIgnoreHeterogeneity)
+{
+    // A low-power core (3) cannot spend its share while a power-
+    // hungry core (0) is starved: under an equal share, the hungry
+    // core ends up at a lower ladder level even though the light core
+    // has slack. FastCap would shift that slack.
+    EqlPwrPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(38.0);
+    const PolicyDecision dec = policy.decide(in);
+
+    const double mem_power = in.memory.pm *
+        std::pow(in.memRatios[dec.memFreqIdx], in.memory.beta) +
+        in.memory.pStatic;
+    const double share =
+        (in.budget - mem_power - in.background) / 4.0;
+    const double p3_max = in.cores[3].pi + in.cores[3].pStatic;
+    const double p0_max = in.cores[0].pi + in.cores[0].pStatic;
+
+    // The scenario is built so the share covers the light core fully
+    // but not the hungry one at whatever memory level was picked.
+    ASSERT_GT(share, p3_max);
+    ASSERT_LT(share, p0_max);
+    // Core 3's share has slack...
+    EXPECT_EQ(dec.coreFreqIdx[3], 9u);
+    // ...while the hungry core 0 cannot reach the top level.
+    EXPECT_LT(dec.coreFreqIdx[0], 9u);
+}
+
+TEST(EqlPwr, DecisionCoversAllCores)
+{
+    EqlPwrPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(40.0);
+    const PolicyDecision dec = policy.decide(in);
+    ASSERT_EQ(dec.coreFreqIdx.size(), in.cores.size());
+    EXPECT_GT(dec.evaluations, 0);
+    EXPECT_EQ(policy.name(), "Eql-Pwr");
+}
+
+TEST(EqlPwr, TinyBudgetFloorsEverything)
+{
+    EqlPwrPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(20.0));
+    for (std::size_t idx : dec.coreFreqIdx)
+        EXPECT_EQ(idx, 0u);
+}
+
+} // namespace
+} // namespace fastcap

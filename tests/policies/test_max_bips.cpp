@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the MaxBIPS baseline: throughput optimality over the
+ * model, budget adherence, the unfairness the paper demonstrates, and
+ * the exponential-core-count guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fastcap_policy.hpp"
+#include "core/queuing_model.hpp"
+#include "policies/max_bips.hpp"
+#include "test_common.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+using testing_support::decisionPower;
+using testing_support::heterogeneousInputs;
+
+double
+decisionBips(const PolicyInputs &in, const PolicyDecision &dec)
+{
+    const QueuingModel qm(in);
+    double bips = 0.0;
+    for (std::size_t i = 0; i < in.cores.size(); ++i)
+        bips += qm.instructionRate(
+            i, in.coreRatios.at(dec.coreFreqIdx[i]),
+            in.memRatios.at(dec.memFreqIdx));
+    return bips;
+}
+
+TEST(MaxBips, RespectsBudgetModelPower)
+{
+    MaxBipsPolicy policy;
+    for (double budget : {35.0, 45.0, 55.0}) {
+        const PolicyInputs in = heterogeneousInputs(budget);
+        const PolicyDecision dec = policy.decide(in);
+        EXPECT_LE(decisionPower(in, dec), budget * 1.001);
+    }
+}
+
+TEST(MaxBips, ThroughputAtLeastFastCapOnModel)
+{
+    // MaxBIPS optimizes exactly the model throughput; FastCap trades
+    // some of it for fairness. On the shared model, MaxBIPS >= FastCap.
+    const PolicyInputs in = heterogeneousInputs(45.0);
+    MaxBipsPolicy maxbips;
+    FastCapPolicy fastcap;
+    const double bips_max = decisionBips(in, maxbips.decide(in));
+    const double bips_fc = decisionBips(in, fastcap.decide(in));
+    EXPECT_GE(bips_max, bips_fc * 0.999);
+}
+
+TEST(MaxBips, FavorsEfficientCores)
+{
+    // The compute-bound, power-hungry cores deliver the most BIPS per
+    // watt here (huge ipa); the memory-bound core 3 contributes
+    // almost nothing, so MaxBIPS starves it first under pressure.
+    MaxBipsPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(42.0);
+    const PolicyDecision dec = policy.decide(in);
+    EXPECT_LE(dec.coreFreqIdx[3], dec.coreFreqIdx[0]);
+}
+
+TEST(MaxBips, UnfairnessExceedsFastCap)
+{
+    // Fairness comparison on the model: spread of per-core
+    // performance factors.
+    const PolicyInputs in = heterogeneousInputs(42.0);
+    const QueuingModel qm(in);
+
+    const auto spread = [&](const PolicyDecision &dec) {
+        double lo = 1e9;
+        double hi = 0.0;
+        for (std::size_t i = 0; i < in.cores.size(); ++i) {
+            const double d = qm.performance(
+                i, in.coreRatios.at(dec.coreFreqIdx[i]),
+                in.memRatios.at(dec.memFreqIdx));
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+        return hi - lo;
+    };
+
+    MaxBipsPolicy maxbips;
+    FastCapPolicy fastcap;
+    const double spread_max = spread(maxbips.decide(in));
+    const double spread_fc = spread(fastcap.decide(in));
+    EXPECT_GE(spread_max, spread_fc)
+        << "throughput maximization must not be fairer than FastCap";
+}
+
+TEST(MaxBips, GuardsAgainstLargeCoreCounts)
+{
+    MaxBipsPolicy policy(8);
+    PolicyInputs in = heterogeneousInputs(45.0);
+    // Inflate to 16 cores: exhaustive search would be 10^16 points.
+    const CoreModel proto = in.cores[0];
+    in.cores.assign(16, proto);
+    in.accessProbs.assign(16, {1.0});
+    EXPECT_THROW(policy.decide(in), FatalError);
+}
+
+TEST(MaxBips, EvaluationCountIsExponential)
+{
+    MaxBipsPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(45.0);
+    const PolicyDecision dec = policy.decide(in);
+    // F^N * M = 10^4 * 10.
+    EXPECT_EQ(dec.evaluations, 100000);
+}
+
+} // namespace
+} // namespace fastcap

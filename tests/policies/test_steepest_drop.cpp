@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the Steepest-Drop greedy heuristic (Table I's
+ * O(F N log N) family, extended with memory DVFS).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fastcap_policy.hpp"
+#include "core/queuing_model.hpp"
+#include "policies/steepest_drop.hpp"
+#include "test_common.hpp"
+
+namespace fastcap {
+namespace {
+
+using testing_support::decisionPower;
+using testing_support::heterogeneousInputs;
+
+TEST(SteepestDrop, RespectsBudgetModelPower)
+{
+    SteepestDropPolicy policy;
+    for (double budget : {35.0, 45.0, 55.0}) {
+        const PolicyInputs in = heterogeneousInputs(budget);
+        const PolicyDecision dec = policy.decide(in);
+        EXPECT_LE(decisionPower(in, dec), budget * 1.001)
+            << "budget " << budget;
+    }
+}
+
+TEST(SteepestDrop, AbundantBudgetTakesNoSteps)
+{
+    SteepestDropPolicy policy;
+    const PolicyDecision dec =
+        policy.decide(heterogeneousInputs(500.0));
+    for (std::size_t idx : dec.coreFreqIdx)
+        EXPECT_EQ(idx, 9u);
+    EXPECT_EQ(dec.memFreqIdx, 9u);
+}
+
+TEST(SteepestDrop, ImpossibleBudgetStopsAtFloor)
+{
+    SteepestDropPolicy policy;
+    const PolicyDecision dec = policy.decide(heterogeneousInputs(1.0));
+    for (std::size_t idx : dec.coreFreqIdx)
+        EXPECT_EQ(idx, 0u);
+    // Memory bounded below by the saturation guard (here index 0).
+    EXPECT_EQ(dec.memFreqIdx, 0u);
+}
+
+TEST(SteepestDrop, SqueezesMemoryBoundCoresFirst)
+{
+    // The greedy sheds power where performance cost is lowest. With
+    // a budget tight enough that memory steps alone cannot cover the
+    // cut, the memory-bound core 3 loses core frequency no later than
+    // the compute-bound core 0 (its steps cost almost no
+    // performance).
+    SteepestDropPolicy policy;
+    const PolicyInputs in = heterogeneousInputs(35.0);
+    const PolicyDecision dec = policy.decide(in);
+    bool any_core_moved = false;
+    for (std::size_t idx : dec.coreFreqIdx)
+        any_core_moved = any_core_moved || idx < 9;
+    ASSERT_TRUE(any_core_moved) << "budget should force core steps";
+    EXPECT_LE(dec.coreFreqIdx[3], dec.coreFreqIdx[0]);
+}
+
+TEST(SteepestDrop, LessFairThanFastCap)
+{
+    const PolicyInputs in = heterogeneousInputs(40.0);
+    const QueuingModel qm(in);
+
+    const auto spread = [&](const PolicyDecision &dec) {
+        double lo = 1e9;
+        double hi = 0.0;
+        for (std::size_t i = 0; i < in.cores.size(); ++i) {
+            const double d = qm.performance(
+                i, in.coreRatios.at(dec.coreFreqIdx[i]),
+                in.memRatios.at(dec.memFreqIdx));
+            lo = std::min(lo, d);
+            hi = std::max(hi, d);
+        }
+        return hi - lo;
+    };
+
+    SteepestDropPolicy greedy;
+    FastCapPolicy fastcap;
+    EXPECT_GE(spread(greedy.decide(in)),
+              spread(fastcap.decide(in)) - 1e-9);
+}
+
+TEST(SteepestDrop, GreedyUsesMoreEvaluationsThanFastCap)
+{
+    // The heuristic re-scores moves as it descends; FastCap's closed
+    // form needs only O(log M) inner solves. (The units differ —
+    // per-core scorings vs full inner solves — so compare only the
+    // trend: the greedy's work grows with how far it must descend.)
+    SteepestDropPolicy policy;
+    const PolicyDecision gentle =
+        policy.decide(heterogeneousInputs(55.0));
+    const PolicyDecision harsh =
+        policy.decide(heterogeneousInputs(35.0));
+    EXPECT_GT(harsh.evaluations, gentle.evaluations);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for application profiles and phase cycling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/app_profile.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+Phase
+makePhase(double instr, double mpki, double cpi = 1.0)
+{
+    Phase p;
+    p.instructions = instr;
+    p.mpki = mpki;
+    p.cpiExec = cpi;
+    p.wpki = mpki * 0.3;
+    p.activity = 0.8;
+    return p;
+}
+
+TEST(AppProfile, SinglePhaseAlwaysReturned)
+{
+    const AppProfile app("mono", makePhase(1e6, 2.0));
+    EXPECT_DOUBLE_EQ(app.phaseAt(0).mpki, 2.0);
+    EXPECT_DOUBLE_EQ(app.phaseAt(1e12).mpki, 2.0);
+}
+
+TEST(AppProfile, PhaseSelectionByPosition)
+{
+    const AppProfile app("duo", std::vector<Phase>{
+        makePhase(10e6, 1.0), makePhase(5e6, 8.0)});
+    EXPECT_DOUBLE_EQ(app.phaseAt(0).mpki, 1.0);
+    EXPECT_DOUBLE_EQ(app.phaseAt(9.99e6).mpki, 1.0);
+    EXPECT_DOUBLE_EQ(app.phaseAt(10.01e6).mpki, 8.0);
+    EXPECT_DOUBLE_EQ(app.phaseAt(14.9e6).mpki, 8.0);
+}
+
+TEST(AppProfile, PhasesWrapCyclically)
+{
+    const AppProfile app("duo", std::vector<Phase>{
+        makePhase(10e6, 1.0), makePhase(5e6, 8.0)});
+    // Cycle length 15M: position 16M is 1M into the next cycle.
+    EXPECT_DOUBLE_EQ(app.phaseAt(16e6).mpki, 1.0);
+    EXPECT_DOUBLE_EQ(app.phaseAt(15e6 * 100 + 12e6).mpki, 8.0);
+}
+
+TEST(AppProfile, InstructionsPerMiss)
+{
+    const Phase p = makePhase(1e6, 4.0);
+    EXPECT_DOUBLE_EQ(p.instructionsPerMiss(), 250.0);
+}
+
+TEST(AppProfile, WeightedAverages)
+{
+    const AppProfile app("duo", std::vector<Phase>{
+        makePhase(10e6, 1.0, 1.2), makePhase(10e6, 3.0, 0.8)});
+    EXPECT_DOUBLE_EQ(app.averageMpki(), 2.0);
+    EXPECT_DOUBLE_EQ(app.averageCpiExec(), 1.0);
+    EXPECT_NEAR(app.averageWpki(), 2.0 * 0.3, 1e-12);
+}
+
+TEST(AppProfile, CycleLengthSumsPhases)
+{
+    const AppProfile app("trio", std::vector<Phase>{
+        makePhase(1e6, 1.0), makePhase(2e6, 1.0), makePhase(3e6, 1.0)});
+    EXPECT_DOUBLE_EQ(app.cycleLength(), 6e6);
+}
+
+TEST(AppProfile, RejectsEmptyAndInvalidPhases)
+{
+    EXPECT_THROW(AppProfile("bad", std::vector<Phase>{}), FatalError);
+    Phase zero_mpki = makePhase(1e6, 0.0);
+    EXPECT_THROW(AppProfile("bad", zero_mpki), FatalError);
+    Phase neg_instr = makePhase(-1.0, 1.0);
+    EXPECT_THROW(AppProfile("bad", neg_instr), FatalError);
+}
+
+} // namespace
+} // namespace fastcap

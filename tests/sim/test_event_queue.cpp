@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: ordering, tie-breaking, time
+ * advancement and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3e-9, [&] { order.push_back(3); });
+    q.schedule(1e-9, [&] { order.push_back(1); });
+    q.schedule(2e-9, [&] { order.push_back(2); });
+    q.runUntil(1e-6);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1e-9, [&order, i] { order.push_back(i); });
+    q.runUntil(1e-6);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilAdvancesToBoundary)
+{
+    EventQueue q;
+    q.schedule(5e-9, [] {});
+    q.runUntil(100e-9);
+    EXPECT_DOUBLE_EQ(q.now(), 100e-9);
+}
+
+TEST(EventQueue, EventsBeyondBoundaryStayPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(50e-9, [&] { ++fired; });
+    q.schedule(150e-9, [&] { ++fired; });
+    q.runUntil(100e-9);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(200e-9);
+    EXPECT_EQ(fired, 2);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 10)
+            q.scheduleAfter(1e-9, step);
+    };
+    q.schedule(0.0, step);
+    q.runUntil(1e-6);
+    EXPECT_EQ(chain, 10);
+    EXPECT_EQ(q.processed(), 10u);
+}
+
+TEST(EventQueue, SelfSchedulingRespectsBoundary)
+{
+    // An event chain must not run past the runUntil() horizon: the
+    // window sampling of the epoch loop depends on this.
+    EventQueue q;
+    int count = 0;
+    std::function<void()> step = [&] {
+        ++count;
+        q.scheduleAfter(10e-9, step);
+    };
+    q.schedule(0.0, step);
+    q.runUntil(95e-9);
+    EXPECT_EQ(count, 10); // t = 0, 10, ..., 90
+    EXPECT_DOUBLE_EQ(q.now(), 95e-9);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue q;
+    q.schedule(10e-9, [] {});
+    q.runUntil(20e-9);
+    EXPECT_THROW(q.schedule(5e-9, [] {}), PanicError);
+}
+
+TEST(EventQueue, ScheduleAtNowIsAllowed)
+{
+    EventQueue q;
+    q.runUntil(10e-9);
+    int fired = 0;
+    q.schedule(10e-9, [&] { ++fired; });
+    q.runUntil(10e-9);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepRunsSingleEvent)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1e-9, [&] { ++fired; });
+    q.schedule(2e-9, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1e-9, [&] { ++fired; });
+    q.clear();
+    q.runUntil(1e-6);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ProcessedCountsAcrossRuns)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i * 1e-9, [] {});
+    q.runUntil(3e-9);
+    q.runUntil(10e-9);
+    EXPECT_EQ(q.processed(), 7u);
+}
+
+} // namespace
+} // namespace fastcap

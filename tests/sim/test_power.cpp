@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the ground-truth power models: V^2*f scaling, effective
+ * exponents within the paper's ranges, and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/config.hpp"
+#include "sim/dvfs.hpp"
+#include "sim/power.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+namespace {
+
+class CorePowerTest : public ::testing::Test
+{
+  protected:
+    CorePowerTest()
+        : curve(VoltageCurve::coreDefault()),
+          model(CorePowerConfig{}, curve, fromGHz(4.0))
+    {}
+
+    VoltageCurve curve;
+    CorePowerModel model;
+};
+
+TEST_F(CorePowerTest, MaxFrequencyFullActivityIsDynMax)
+{
+    EXPECT_NEAR(model.dynamicPower(fromGHz(4.0), 1.0),
+                CorePowerConfig{}.dynMax, 1e-9);
+}
+
+TEST_F(CorePowerTest, ActivityScalesLinearly)
+{
+    const Watts full = model.dynamicPower(fromGHz(3.0), 1.0);
+    const Watts half = model.dynamicPower(fromGHz(3.0), 0.5);
+    EXPECT_NEAR(half, 0.5 * full, 1e-12);
+}
+
+TEST_F(CorePowerTest, MonotoneInFrequency)
+{
+    const FrequencyLadder l = FrequencyLadder::coreDefault();
+    Watts prev = 0.0;
+    for (std::size_t i = 0; i < l.size(); ++i) {
+        const Watts p = model.dynamicPower(l.at(i), 1.0);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(CorePowerTest, EffectiveAlphaInPaperRange)
+{
+    // Fit P(x) ~ x^alpha between the ladder extremes.
+    const double x = 2.2 / 4.0;
+    const double ratio = model.dynamicPower(fromGHz(2.2), 1.0) /
+        model.dynamicPower(fromGHz(4.0), 1.0);
+    const double alpha = std::log(ratio) / std::log(x);
+    EXPECT_GE(alpha, 2.0);
+    EXPECT_LE(alpha, 3.3);
+}
+
+TEST_F(CorePowerTest, WindowEnergyDecomposition)
+{
+    // 60% busy, 40% stalled over 100 us.
+    const Seconds w = 100e-6;
+    const Joules e =
+        model.windowEnergy(fromGHz(4.0), 1.0, 0.6 * w, 0.4 * w, w);
+    const CorePowerConfig cfg;
+    const Joules expect = cfg.dynMax * 0.6 * w +
+        cfg.dynMax * cfg.stallFactor * 0.4 * w + cfg.staticPower * w;
+    EXPECT_NEAR(e, expect, 1e-15);
+}
+
+TEST_F(CorePowerTest, IdleWindowBurnsStaticOnly)
+{
+    const Seconds w = 1e-3;
+    const Joules e = model.windowEnergy(fromGHz(2.2), 0.8, 0.0, 0.0, w);
+    EXPECT_NEAR(e, CorePowerConfig{}.staticPower * w, 1e-15);
+}
+
+TEST_F(CorePowerTest, PeakIsDynPlusStatic)
+{
+    const CorePowerConfig cfg;
+    EXPECT_NEAR(model.peakPower(), cfg.dynMax + cfg.staticPower, 1e-12);
+}
+
+class MemPowerTest : public ::testing::Test
+{
+  protected:
+    MemPowerTest()
+        : curve(VoltageCurve::memoryControllerDefault()),
+          model(MemoryPowerConfig{}, 1.0, curve, fromMHz(800))
+    {}
+
+    VoltageCurve curve;
+    MemoryPowerModel model;
+};
+
+TEST_F(MemPowerTest, FrequencyPowerNearlyLinear)
+{
+    // Eq. 3's beta ~ 1: the frequency-scaled power at half frequency
+    // should be a bit under half of max (MC's V^2 term bends it).
+    const Watts full = model.frequencyPower(fromMHz(800));
+    const Watts half = model.frequencyPower(fromMHz(400));
+    EXPECT_LT(half, 0.55 * full);
+    EXPECT_GT(half, 0.3 * full);
+
+    const double beta = std::log(half / full) / std::log(0.5);
+    EXPECT_GE(beta, 0.9);
+    EXPECT_LE(beta, 1.8);
+}
+
+TEST_F(MemPowerTest, AccessEnergyIndependentOfFrequency)
+{
+    const Seconds w = 100e-6;
+    const Joules fast = model.windowEnergy(fromMHz(800), 1000, w);
+    const Joules slow = model.windowEnergy(fromMHz(206), 1000, w);
+    const MemoryPowerConfig cfg;
+    // Same access count: the difference is only frequency power.
+    const Joules diff_expect =
+        (model.frequencyPower(fromMHz(800)) -
+         model.frequencyPower(fromMHz(206))) * w;
+    EXPECT_NEAR(fast - slow, diff_expect, 1e-15);
+    EXPECT_GT(fast, cfg.accessEnergy * 1000);
+}
+
+TEST_F(MemPowerTest, ShareSplitsStaticAndInterface)
+{
+    MemoryPowerModel quarter(MemoryPowerConfig{}, 0.25, curve,
+                             fromMHz(800));
+    EXPECT_NEAR(quarter.staticPower(), model.staticPower() * 0.25,
+                1e-12);
+    EXPECT_NEAR(quarter.frequencyPower(fromMHz(800)),
+                model.frequencyPower(fromMHz(800)) * 0.25, 1e-12);
+}
+
+TEST_F(MemPowerTest, InvalidShareIsFatal)
+{
+    EXPECT_THROW(MemoryPowerModel(MemoryPowerConfig{}, 0.0, curve,
+                                  fromMHz(800)),
+                 FatalError);
+    EXPECT_THROW(MemoryPowerModel(MemoryPowerConfig{}, 1.5, curve,
+                                  fromMHz(800)),
+                 FatalError);
+}
+
+TEST_F(MemPowerTest, PeakUsesAccessRate)
+{
+    const MemoryPowerConfig cfg;
+    const double rate = 500e6;
+    EXPECT_NEAR(model.peakPower(rate),
+                cfg.accessEnergy * rate +
+                    model.frequencyPower(fromMHz(800)) +
+                    cfg.staticPower,
+                1e-9);
+}
+
+TEST(SystemPowerSplit, RoughlyMatchesPaperShares)
+{
+    // Paper: at max frequencies CPU ~60%, memory ~30%, other ~10%.
+    // Check the nameplate decomposition for the 16-core default.
+    const SimConfig cfg = SimConfig::defaultConfig(16);
+    const double core_peak = 16.0 *
+        (cfg.corePower.dynMax + cfg.corePower.staticPower);
+    // Peak sustainable access rate: one line per transfer time.
+    const double mem_peak = cfg.memPower.accessEnergy *
+        (cfg.memLadder.max() / cfg.busBurstCycles) +
+        cfg.memPower.interfaceMax + cfg.memPower.mcMax +
+        cfg.memPower.staticPower;
+    const double total = core_peak + mem_peak + cfg.backgroundPower;
+    EXPECT_NEAR(core_peak / total, 0.60, 0.08);
+    EXPECT_NEAR(mem_peak / total, 0.30, 0.08);
+    EXPECT_NEAR(cfg.backgroundPower / total, 0.10, 0.04);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("user misconfiguration %d", 42), FatalError);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("internal bug %s", "details"), PanicError);
+}
+
+TEST(Logging, FatalMessageIsFormatted)
+{
+    try {
+        fatal("value=%d name=%s", 7, "core");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7 name=core");
+    }
+}
+
+TEST(Logging, PanicIsLogicError)
+{
+    // panic() signals library bugs; it must be distinguishable from
+    // user errors by type.
+    try {
+        panic("boom");
+    } catch (const std::logic_error &) {
+        SUCCEED();
+        return;
+    } catch (...) {
+        FAIL() << "panic threw the wrong type";
+    }
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    EXPECT_NO_THROW(FASTCAP_ASSERT(1 + 1 == 2));
+}
+
+TEST(Logging, AssertMacroPanicsOnFalse)
+{
+    EXPECT_THROW(FASTCAP_ASSERT(1 + 1 == 3), PanicError);
+}
+
+TEST(Logging, FormatHelperHandlesLongStrings)
+{
+    const std::string big(500, 'x');
+    const std::string out = detail::format("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Logging, LevelGatesEmission)
+{
+    Logger &log = Logger::global();
+    const LogLevel old = log.level();
+
+    // Redirect to a temp file and count bytes at different levels.
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    log.stream(tmp);
+
+    log.level(LogLevel::Silent);
+    warn("should not appear");
+    std::fflush(tmp);
+    EXPECT_EQ(std::ftell(tmp), 0);
+
+    log.level(LogLevel::Warn);
+    warn("should appear");
+    std::fflush(tmp);
+    EXPECT_GT(std::ftell(tmp), 0);
+
+    log.level(old);
+    log.stream(stderr);
+    std::fclose(tmp);
+}
+
+TEST(Logging, InformSuppressedAtWarnLevel)
+{
+    Logger &log = Logger::global();
+    const LogLevel old = log.level();
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    log.stream(tmp);
+
+    log.level(LogLevel::Warn);
+    inform("hidden at warn level");
+    std::fflush(tmp);
+    EXPECT_EQ(std::ftell(tmp), 0);
+
+    log.level(old);
+    log.stream(stderr);
+    std::fclose(tmp);
+}
+
+} // namespace
+} // namespace fastcap

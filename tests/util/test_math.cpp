@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for root finding and least-squares fitting — the numeric
+ * engines behind the FastCap inner solve and the online model fitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/math.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot)
+{
+    const auto f = [](double x) { return x * x - 4.0; };
+    const RootResult r = bisect(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 2.0, 1e-9);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint)
+{
+    const auto f = [](double x) { return x - 1.0; };
+    const RootResult r = bisect(f, 1.0, 5.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 1.0, 1e-9);
+}
+
+TEST(Bisect, ReportsNoSignChange)
+{
+    const auto f = [](double x) { return x * x + 1.0; };
+    const RootResult r = bisect(f, -1.0, 1.0);
+    EXPECT_FALSE(r.converged);
+}
+
+TEST(Bisect, SwapsReversedBracket)
+{
+    const auto f = [](double x) { return x - 3.0; };
+    const RootResult r = bisect(f, 10.0, 0.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 3.0, 1e-9);
+}
+
+TEST(SolveMonotone, SaturatesLowWhenAlwaysPositive)
+{
+    // f(lo) > 0: even the lowest x overshoots the target.
+    const auto f = [](double x) { return x + 1.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(SolveMonotone, SaturatesHighWhenAlwaysNegative)
+{
+    const auto f = [](double x) { return x - 100.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_DOUBLE_EQ(r.x, 10.0);
+}
+
+TEST(SolveMonotone, FindsInteriorRoot)
+{
+    const auto f = [](double x) { return std::pow(x, 3.0) - 27.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.x, 3.0, 1e-8);
+}
+
+TEST(FitLinear, ExactTwoPointFit)
+{
+    const std::vector<double> xs{1.0, 3.0};
+    const std::vector<double> ys{2.0, 8.0};
+    const LinearFit fit = fitLinear(xs, ys);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RejectsDegenerateInput)
+{
+    const std::vector<double> xs{2.0, 2.0};
+    const std::vector<double> ys{1.0, 3.0};
+    EXPECT_FALSE(fitLinear(xs, ys).valid);
+    EXPECT_FALSE(fitLinear(std::vector<double>{1.0},
+                           std::vector<double>{1.0}).valid);
+}
+
+TEST(FitLinear, NoisyFitRecoversSlope)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.1 * i;
+        xs.push_back(x);
+        ys.push_back(2.5 * x + 1.0 + ((i % 2) ? 0.01 : -0.01));
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.slope, 2.5, 0.01);
+    EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitPowerLaw, RecoversExactPowerLaw)
+{
+    // y = 3.5 x^2.7 — the Eq. 2 shape.
+    std::vector<double> xs, ys;
+    for (double x : {0.55, 0.75, 1.0}) {
+        xs.push_back(x);
+        ys.push_back(3.5 * std::pow(x, 2.7));
+    }
+    const PowerLawFit fit = fitPowerLaw(xs, ys);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.scale, 3.5, 1e-9);
+    EXPECT_NEAR(fit.exponent, 2.7, 1e-9);
+}
+
+TEST(FitPowerLaw, IgnoresNonPositivePoints)
+{
+    const std::vector<double> xs{-1.0, 0.5, 1.0, 0.0};
+    const std::vector<double> ys{5.0, std::sqrt(0.5) * 2.0, 2.0, 7.0};
+    const PowerLawFit fit = fitPowerLaw(xs, ys);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.exponent, 0.5, 1e-9);
+    EXPECT_NEAR(fit.scale, 2.0, 1e-9);
+}
+
+TEST(FitPowerLaw, InvalidWithOneUsablePoint)
+{
+    const std::vector<double> xs{1.0};
+    const std::vector<double> ys{2.0};
+    EXPECT_FALSE(fitPowerLaw(xs, ys).valid);
+}
+
+TEST(ClampSafe, HandlesReversedBounds)
+{
+    EXPECT_DOUBLE_EQ(clampSafe(5.0, 10.0, 0.0), 5.0);
+    EXPECT_DOUBLE_EQ(clampSafe(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_DOUBLE_EQ(clampSafe(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(ApproxEqual, RelativeToleranceSemantics)
+{
+    EXPECT_TRUE(approxEqual(1e9, 1e9 + 1.0, 1e-8));
+    EXPECT_FALSE(approxEqual(1.0, 1.1, 1e-3));
+    EXPECT_TRUE(approxEqual(0.0, 0.0));
+}
+
+/** Property sweep: monotone solve hits the budget across scales. */
+class SolveMonotoneProperty
+    : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SolveMonotoneProperty, RootResidualSmall)
+{
+    const double target = GetParam();
+    const auto f = [target](double d) {
+        // Shape of FastCap's inner residual: sum of power-law terms
+        // minus a budget.
+        return 10.0 * std::pow(d, 3.0) + 4.0 * d - target;
+    };
+    const RootResult r = solveMonotone(f, 1e-6, 1.0);
+    ASSERT_TRUE(r.converged);
+    if (f(1e-6) > 0.0) {
+        EXPECT_DOUBLE_EQ(r.x, 1e-6);
+    } else if (f(1.0) < 0.0) {
+        EXPECT_DOUBLE_EQ(r.x, 1.0);
+    } else {
+        EXPECT_NEAR(f(r.x), 0.0, 1e-6 * std::max(1.0, target));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SolveMonotoneProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 13.9,
+                                           14.0, 100.0));
+
+} // namespace
+} // namespace fastcap

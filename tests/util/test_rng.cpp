@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, distribution
+ * sanity, and stream splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345);
+    Rng b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(2.0, 3.0);
+        ASSERT_GE(v, 2.0);
+        ASSERT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.below(32);
+        ASSERT_LT(v, 32u);
+        seen.insert(v);
+    }
+    // All 32 bank indices should be hit over 10k draws.
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(19);
+    const double mean = 25e-9; // a think time
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.exponential(mean);
+        ASSERT_GE(v, 0.0);
+        acc += v;
+    }
+    EXPECT_NEAR(acc / n, mean, 0.02 * mean);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(23);
+    double s1 = 0.0;
+    double s2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        s1 += v;
+        s2 += v * v;
+    }
+    EXPECT_NEAR(s1 / n, 0.0, 0.02);
+    EXPECT_NEAR(s2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, JitterHasUnitMean)
+{
+    // The lognormal jitter multiplies think times; unit mean keeps
+    // average rates calibrated.
+    Rng rng(29);
+    double acc = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.jitter(0.25);
+        ASSERT_GT(v, 0.0);
+        acc += v;
+    }
+    EXPECT_NEAR(acc / n, 1.0, 0.02);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(31);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic)
+{
+    Rng parent_a(99);
+    Rng parent_b(99);
+    Rng child_a = parent_a.split(5);
+    Rng child_b = parent_b.split(5);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(child_a(), child_b());
+
+    // Different stream ids produce different sequences.
+    Rng parent_c(99);
+    Rng other = parent_c.split(6);
+    Rng parent_d(99);
+    Rng same_pos = parent_d.split(5);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (other() == same_pos());
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace fastcap

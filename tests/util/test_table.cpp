@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the ASCII table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(AsciiTable, RendersAlignedColumns)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2.5"});
+    const std::string out = t.render();
+
+    // Header first, separator second, rows after.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+
+    // All lines (except possibly the last newline) equal length.
+    std::size_t prev = std::string::npos;
+    std::size_t start = 0;
+    int lines = 0;
+    while (start < out.size()) {
+        const std::size_t nl = out.find('\n', start);
+        const std::size_t len = nl - start;
+        if (lines > 0 && prev != std::string::npos) {
+            // Rows may have trailing padding; lengths must not exceed
+            // the header line.
+            EXPECT_LE(len, std::max(prev, len));
+        }
+        prev = len;
+        start = nl + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4); // header + separator + 2 rows
+}
+
+TEST(AsciiTable, NumericRowFormatting)
+{
+    AsciiTable t({"wl", "avg", "worst"});
+    t.addRowNumeric("MEM1", {1.234567, 2.0}, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(AsciiTable, RowArityMismatchPanics)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(AsciiTable, EmptyHeaderIsFatal)
+{
+    EXPECT_THROW(AsciiTable(std::vector<std::string>{}), FatalError);
+}
+
+TEST(AsciiTable, NumHelperPrecision)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(1.0, 0), "1");
+}
+
+TEST(AsciiTable, CountsRowsAndColumns)
+{
+    AsciiTable t({"a", "b", "c"});
+    EXPECT_EQ(t.columns(), 3u);
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1", "2", "3"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * fastcap_sim — run one power-capping experiment from the command
+ * line.
+ *
+ *   fastcap_sim --workload MIX3 --policy FastCap --cores 16 \
+ *               --budget 0.6 --instructions 5e7 --trace
+ *
+ * Prints a run summary; `--trace` adds per-epoch CSV rows (power,
+ * memory level, budget) for plotting; `--compare` also runs the
+ * uncapped baseline and reports normalized per-application CPI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "policies/registry.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fastcap_sim",
+                   "FastCap power-capping experiment driver");
+    args.addString("workload", "MIX3",
+                   "Table III workload (ILP1..MIX4)");
+    args.addString("policy", "FastCap",
+                   "FastCap | CPU-only | Uncapped | Freq-Par | "
+                   "Eql-Pwr | Eql-Freq | MaxBIPS");
+    args.addInt("cores", 16, "core count (multiple of 4)");
+    args.addDouble("budget", 0.6, "power budget as fraction of peak");
+    args.addDouble("instructions", 50e6,
+                   "instructions per application");
+    args.addDouble("epoch-ms", 5.0, "epoch length in milliseconds");
+    args.addInt("controllers", 1, "memory controllers");
+    args.addDouble("skew", 0.0,
+                   "hot-controller access fraction (0 = uniform)");
+    args.addFlag("ooo", "idealized out-of-order cores");
+    args.addInt("seed", 0, "simulation seed (0 = default)");
+    args.addFlag("trace", "print per-epoch CSV rows");
+    args.addFlag("compare", "also run the uncapped baseline and "
+                            "report normalized CPI");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    try {
+        SimConfig scfg = SimConfig::defaultConfig(
+            static_cast<int>(args.getInt("cores")));
+        scfg.epochLength = args.getDouble("epoch-ms") * 1e-3;
+        if (args.getInt("controllers") > 1) {
+            const int k = static_cast<int>(args.getInt("controllers"));
+            scfg.numControllers = k;
+            scfg.banksPerController =
+                std::max(1, scfg.banksPerController / k);
+            scfg.busBurstCycles *= k; // one channel share each
+        }
+        if (args.getDouble("skew") > 0.0) {
+            scfg.interleave = InterleaveMode::Skewed;
+            scfg.skewHotFraction = args.getDouble("skew");
+        }
+        if (args.getFlag("ooo"))
+            scfg.execMode = ExecMode::OutOfOrder;
+        if (args.getInt("seed") != 0)
+            scfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+        scfg.validate();
+
+        ExperimentConfig ecfg;
+        ecfg.budgetFraction = args.getDouble("budget");
+        ecfg.targetInstructions = args.getDouble("instructions");
+
+        const std::string workload = args.getString("workload");
+        const std::string policy = args.getString("policy");
+
+        const ExperimentResult res =
+            runWorkload(workload, policy, ecfg, scfg);
+
+        std::printf("workload %s | policy %s | %d cores%s | budget "
+                    "%.0f%% of %.1f W\n",
+                    workload.c_str(), policy.c_str(), scfg.numCores,
+                    scfg.execMode == ExecMode::OutOfOrder ? " (OoO)"
+                                                          : "",
+                    100.0 * res.budgetFraction, res.peakPower);
+        std::printf("epochs %zu | avg power %.1f W (%.3f of peak) | "
+                    "max epoch %.1f W | all apps done: %s\n",
+                    res.epochs.size(), res.averagePower(),
+                    res.averagePowerFraction(), res.maxEpochPower(),
+                    res.allCompleted() ? "yes" : "NO");
+
+        if (args.getFlag("trace")) {
+            std::printf("\nepoch,core_w,mem_w,total_w,budget_w,"
+                        "mem_level\n");
+            for (const EpochRecord &e : res.epochs)
+                std::printf("%d,%.2f,%.2f,%.2f,%.2f,%zu\n", e.epoch,
+                            e.corePower, e.memPower, e.totalPower,
+                            e.budget, e.memFreqIdx);
+        }
+
+        if (args.getFlag("compare") && policy != "Uncapped") {
+            const ExperimentResult base =
+                runWorkload(workload, "Uncapped", ecfg, scfg);
+            const PerfComparison cmp = comparePerformance(res, base);
+            std::printf("\nnormalized CPI vs uncapped: avg %.3f, "
+                        "worst %.3f (worst/avg %.3f)\n",
+                        cmp.average, cmp.worst, cmp.unfairness);
+            AsciiTable t({"core", "app", "norm CPI"});
+            for (std::size_t i = 0; i < res.apps.size(); ++i)
+                t.addRow({std::to_string(res.apps[i].core),
+                          res.apps[i].app,
+                          AsciiTable::num(cmp.perApp[i], 3)});
+            t.print();
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fastcap_sim: %s\n", e.what());
+        return 1;
+    }
+}
