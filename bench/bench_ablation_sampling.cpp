@@ -1,6 +1,6 @@
 /**
  * @file
- * Ablation (DESIGN.md section 5): sampled-epoch fidelity. Our epoch
+ * Ablation (docs/DESIGN.md section 5): sampled-epoch fidelity. Our epoch
  * scheme simulates a profiling window plus an execution window and
  * extrapolates the rest (the paper profiles 300 us of each 5 ms
  * epoch). This bench sweeps the window length and reports capping
@@ -21,7 +21,7 @@ int
 main()
 {
     benchutil::banner("bench_ablation_sampling",
-                      "sampling-window design study (DESIGN.md #5)",
+                      "sampling-window design study (docs/DESIGN.md #5)",
                       "16 cores, MIX3 + MEM2, budget = 60%, window "
                       "in {50, 100, 300} us");
 

@@ -9,7 +9,7 @@
  *      Q/U/s_m, power-law fits for Eq. 2/3 parameters)
  *   3. policy decides; frequencies are applied with transition costs
  *   4. execution window at the new frequencies
- *   5. extrapolate both windows over the epoch (DESIGN.md section 5)
+ *   5. extrapolate both windows over the epoch (docs/DESIGN.md section 5)
  *
  * The run ends when the slowest application reaches its instruction
  * target (the paper's termination rule) or at maxEpochs.

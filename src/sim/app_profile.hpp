@@ -3,7 +3,7 @@
  * Application behaviour profiles driving the simulated cores.
  *
  * The paper runs SPEC 2000/2006 Simpoints; we substitute synthetic
- * profiles (see DESIGN.md section 2): each application is a cyclic
+ * profiles (see docs/DESIGN.md section 2): each application is a cyclic
  * sequence of phases, each phase characterised by its non-memory CPI,
  * L2 miss and writeback rates, and switching activity. FastCap never
  * sees these parameters — only the performance counters the simulator

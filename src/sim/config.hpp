@@ -1,7 +1,7 @@
 /**
  * @file
  * Simulated-system configuration, mirroring Table II of the paper
- * plus the sampling parameters of our epoch scheme (see DESIGN.md
+ * plus the sampling parameters of our epoch scheme (see docs/DESIGN.md
  * section 5 for the sampling substitution).
  */
 
@@ -105,7 +105,7 @@ struct SimConfig
     /** Hard cap on outstanding misses per core in OoO mode. */
     int oooMaxOutstanding = 8;
 
-    // --- epochs and sampling (DESIGN.md section 5) -------------------
+    // --- epochs and sampling (docs/DESIGN.md section 5) -------------------
     Seconds epochLength = fromMs(5);
     Seconds profileWindow = fromUs(100);
     Seconds execWindow = fromUs(100);

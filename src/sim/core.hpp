@@ -81,7 +81,7 @@ class Core
 
     /**
      * Advance the application position without simulating, used by
-     * the epoch extrapolation (DESIGN.md section 5).
+     * the epoch extrapolation (docs/DESIGN.md section 5).
      */
     void creditInstructions(double instr);
 

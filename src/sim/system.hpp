@@ -3,7 +3,7 @@
  * The simulated many-core server: N cores, K memory controllers
  * (banks + transfer-blocking bus each), DVFS actuators, and power
  * accounting. This is the substrate the paper's evaluation runs on
- * (their "detailed simulator"); see DESIGN.md for the substitution
+ * (their "detailed simulator"); see docs/DESIGN.md for the substitution
  * notes.
  *
  * The system exposes *windows*: bounded spans of discrete-event
@@ -121,7 +121,7 @@ class ManyCoreSystem
     /** Cumulative instructions retired by core i (incl. credit). */
     double instructionsRetired(int core) const;
 
-    /** Extrapolation credit (see DESIGN.md section 5). */
+    /** Extrapolation credit (see docs/DESIGN.md section 5). */
     void creditInstructions(int core, double instr);
 
     // --- power ---------------------------------------------------------

@@ -108,7 +108,7 @@ void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
     __attribute__((format(printf, 1, 2)));
 
 /** panic() unless the condition holds. */
-#define FASTCAP_ASSERT(cond, ...)                                         \
+#define FASTCAP_ASSERT(cond)                                              \
     do {                                                                  \
         if (!(cond)) {                                                    \
             ::fastcap::panic("assertion failed: %s (%s:%d) ",             \

@@ -96,7 +96,7 @@ solveMonotone(const std::function<double(double)> &f, double lo, double hi,
 }
 
 LinearFit
-fitLinear(std::span<const double> xs, std::span<const double> ys)
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
 {
     LinearFit fit;
     const size_t n = std::min(xs.size(), ys.size());
@@ -130,7 +130,7 @@ fitLinear(std::span<const double> xs, std::span<const double> ys)
 }
 
 PowerLawFit
-fitPowerLaw(std::span<const double> xs, std::span<const double> ys)
+fitPowerLaw(const std::vector<double> &xs, const std::vector<double> &ys)
 {
     PowerLawFit fit;
     const size_t n = std::min(xs.size(), ys.size());

@@ -8,7 +8,6 @@
 #define FASTCAP_UTIL_MATH_HPP
 
 #include <functional>
-#include <span>
 #include <utility>
 #include <vector>
 
@@ -72,7 +71,7 @@ struct LinearFit
  * Needs at least two points with distinct x. With exactly two points
  * the fit is exact and r2 = 1.
  */
-LinearFit fitLinear(std::span<const double> xs, std::span<const double> ys);
+LinearFit fitLinear(const std::vector<double> &xs, const std::vector<double> &ys);
 
 /** Parameters of a power-law fit y = scale * x^exponent. */
 struct PowerLawFit
@@ -92,8 +91,8 @@ struct PowerLawFit
  * each epoch to recover (P_i, alpha_i) from (frequency-ratio, dynamic
  * power) samples.
  */
-PowerLawFit fitPowerLaw(std::span<const double> xs,
-                        std::span<const double> ys);
+PowerLawFit fitPowerLaw(const std::vector<double> &xs,
+                        const std::vector<double> &ys);
 
 /** Clamp helper mirroring std::clamp but tolerant of lo > hi. */
 double clampSafe(double v, double lo, double hi);

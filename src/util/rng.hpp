@@ -84,8 +84,8 @@ class Rng
     {
         // Multiply-shift rejection-free mapping (Lemire); bias is
         // negligible for the n used here (bank counts, app counts).
-        const unsigned __int128 m =
-            static_cast<unsigned __int128>(operator()()) * n;
+        __extension__ typedef unsigned __int128 uint128_t;
+        const uint128_t m = static_cast<uint128_t>(operator()()) * n;
         return static_cast<std::uint64_t>(m >> 64);
     }
 

@@ -8,7 +8,7 @@
  * ILP (compute-intensive), MID (balanced), MEM (memory-intensive) and
  * MIX. Per-application phase variability produces the time dynamics
  * Figures 4, 7 and 8 exercise. The numbers are synthetic stand-ins —
- * see DESIGN.md section 2 for why this substitution preserves the
+ * see docs/DESIGN.md section 2 for why this substitution preserves the
  * paper's behaviour.
  */
 

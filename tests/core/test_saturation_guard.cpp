@@ -2,7 +2,7 @@
  * @file
  * Tests for the memory-search saturation guard
  * (minMemIndexForUtilisation): the Eq. 1 validity-domain restriction
- * all policies share (DESIGN.md section 5, item 7).
+ * all policies share (docs/DESIGN.md section 5, item 7).
  */
 
 #include <gtest/gtest.h>

@@ -146,7 +146,7 @@ TEST(SpecTable, PowerVirusIsComputeBoundAndHot)
 TEST(SpecTable, MemClassIsMemoryBoundInMixes)
 {
     // MEM1's average MPKI is within a factor ~2 of the paper's 18.22
-    // (exact match is not required — see DESIGN.md).
+    // (exact match is not required — see docs/DESIGN.md).
     double acc = 0.0;
     for (const std::string &a : wl::mixApps("MEM1"))
         acc += wl::spec(a).averageMpki();
