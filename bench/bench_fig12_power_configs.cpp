@@ -7,6 +7,9 @@
  * (16 cores). Budget = 60%. The paper's claim: the average stays at
  * or under the budget in every configuration; only brief epochs
  * slightly exceed it.
+ *
+ * Runs as one parallel sweep: 5 system configurations x 16
+ * workloads.
  */
 
 #include <cstdio>
@@ -19,16 +22,10 @@ using namespace fastcap;
 
 namespace {
 
-struct Config
-{
-    const char *name;
-    SimConfig cfg;
-};
-
-std::vector<Config>
+std::vector<SweepConfig>
 configs()
 {
-    std::vector<Config> out;
+    std::vector<SweepConfig> out;
     out.push_back({"16 cores", SimConfig::defaultConfig(16)});
     out.push_back({"32 cores", SimConfig::defaultConfig(32)});
     out.push_back({"64 cores", SimConfig::defaultConfig(64)});
@@ -57,29 +54,38 @@ main()
                       "workload-average power and highest single-"
                       "epoch power");
 
-    const double instr = 20e6;
+    SweepGrid grid;
+    grid.configs = configs();
+    grid.workloads = workloads::workloadNames();
+    grid.policies = {"FastCap"};
+    grid.budgetFractions = {0.6};
+    grid.targetInstructions = 20e6;
+
+    const SweepResult sw = SweepRunner(grid).run();
+    benchutil::sweepStats(sw);
+
     AsciiTable table({"config / class", "max avg power/peak",
                       "max epoch power/peak"});
     CsvWriter csv;
     csv.header({"config", "class", "max_avg_frac", "max_epoch_frac"});
 
-    for (const Config &c : configs()) {
+    for (std::size_t c = 0; c < grid.configs.size(); ++c) {
+        const std::string &name = grid.configs[c].name;
         for (const std::string &cls : benchutil::classNames()) {
             double max_avg = 0.0;
             double max_epoch = 0.0;
             for (const std::string &wl :
                  workloads::workloadsOfClass(cls)) {
-                const ExperimentResult res = runWorkload(
-                    wl, "FastCap", benchutil::expConfig(0.6, instr),
-                    c.cfg);
+                const ExperimentResult &res =
+                    sw.at(c, sw.grid.workloadIndex(wl), 0, 0).result;
                 if (res.averagePowerFraction() > max_avg) {
                     max_avg = res.averagePowerFraction();
                     max_epoch = res.maxEpochPowerFraction();
                 }
             }
-            table.addRowNumeric(std::string(c.name) + " " + cls,
+            table.addRowNumeric(name + " " + cls,
                                 {max_avg, max_epoch});
-            csv.row({c.name, cls, AsciiTable::num(max_avg, 4),
+            csv.row({name, cls, AsciiTable::num(max_avg, 4),
                      AsciiTable::num(max_epoch, 4)});
         }
     }

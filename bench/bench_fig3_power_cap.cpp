@@ -3,6 +3,8 @@
  * Figure 3: FastCap average power consumption normalized to the peak
  * power, for all 16 workloads on the 16-core system under a 60%
  * budget. The paper's claim: every bar sits at or just below 0.6.
+ *
+ * Runs as one parallel sweep over the 16 workloads.
  */
 
 #include <cstdio>
@@ -21,8 +23,15 @@ main()
                       "16 cores, FastCap, budget = 60% of measured "
                       "peak, all 16 workloads");
 
-    const SimConfig scfg = SimConfig::defaultConfig(16);
-    const ExperimentConfig cfg = benchutil::expConfig(0.6, 50e6);
+    SweepGrid grid;
+    grid.configs = SweepGrid::configsForCores({16});
+    grid.workloads = workloads::workloadNames();
+    grid.policies = {"FastCap"};
+    grid.budgetFractions = {0.6};
+    grid.targetInstructions = 50e6;
+
+    const SweepResult sw = SweepRunner(grid).run();
+    benchutil::sweepStats(sw);
 
     AsciiTable table({"workload", "avg power / peak", "max epoch",
                       "budget", "epochs"});
@@ -30,18 +39,18 @@ main()
     csv.header({"workload", "avg_power_fraction",
                 "max_epoch_fraction", "budget_fraction", "epochs"});
 
-    for (const std::string &wl : workloads::workloadNames()) {
-        const ExperimentResult res =
-            runWorkload(wl, "FastCap", cfg, scfg);
+    for (const SweepRun &run : sw.runs) {
+        const ExperimentResult &res = run.result;
         table.addRowNumeric(
-            wl,
+            run.point.workload,
             {res.averagePowerFraction(), res.maxEpochPowerFraction(),
              res.budgetFraction,
              static_cast<double>(res.epochs.size())});
-        csv.rowLabeled(wl, {res.averagePowerFraction(),
-                            res.maxEpochPowerFraction(),
-                            res.budgetFraction,
-                            static_cast<double>(res.epochs.size())});
+        csv.rowLabeled(run.point.workload,
+                       {res.averagePowerFraction(),
+                        res.maxEpochPowerFraction(),
+                        res.budgetFraction,
+                        static_cast<double>(res.epochs.size())});
     }
 
     std::printf("\n");

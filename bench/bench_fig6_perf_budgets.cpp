@@ -4,6 +4,9 @@
  * to the uncapped baseline) for each workload class under three power
  * budgets. The paper's claims: worst ~ average (fairness), and MEM
  * classes degrade less than ILP at the same budget.
+ *
+ * Runs as one parallel sweep: 16 workloads x {FastCap, Uncapped} x 3
+ * budgets; the Uncapped runs are the normalization baselines.
  */
 
 #include <cstdio>
@@ -22,8 +25,18 @@ main()
                       "16 cores, FastCap vs uncapped, budgets "
                       "50/60/70%");
 
-    const SimConfig scfg = SimConfig::defaultConfig(16);
-    const double instr = 30e6;
+    SweepGrid grid;
+    grid.configs = SweepGrid::configsForCores({16});
+    grid.workloads = workloads::workloadNames();
+    grid.policies = {"FastCap", "Uncapped"};
+    grid.budgetFractions = {0.5, 0.6, 0.7};
+    grid.targetInstructions = 30e6;
+    // Capped runs and their Uncapped baselines must see the same
+    // random trace for the normalized CPI to be a paired comparison.
+    grid.pairSeedsAcrossPolicies = true;
+
+    const SweepResult sw = SweepRunner(grid).run();
+    benchutil::sweepStats(sw);
 
     AsciiTable table({"class", "budget", "avg norm CPI",
                       "worst norm CPI", "worst/avg"});
@@ -31,9 +44,11 @@ main()
     csv.header({"class", "budget", "avg", "worst", "unfairness"});
 
     for (const std::string &cls : benchutil::classNames()) {
-        for (double budget : {0.5, 0.6, 0.7}) {
+        for (std::size_t b = 0; b < grid.budgetFractions.size();
+             ++b) {
+            const double budget = grid.budgetFractions[b];
             const PerfComparison c = benchutil::classComparison(
-                cls, "FastCap", budget, instr, scfg);
+                sw, 0, cls, "FastCap", b);
             table.addRowNumeric(
                 cls + " B=" + AsciiTable::num(budget, 2),
                 {budget, c.average, c.worst, c.unfairness});

@@ -5,6 +5,9 @@
  * budget ("*" = fixed memory frequency). The paper's claims: FastCap
  * at least matches CPU-only everywhere; Freq-Par is substantially
  * worse and unfair; Eql-Pwr's worst-case blows up on mixed classes.
+ *
+ * Runs as one parallel sweep: 16 workloads x 5 policies (the four
+ * under test plus the Uncapped normalization baseline).
  */
 
 #include <cstdio>
@@ -23,10 +26,22 @@ main()
                       "16 cores, budget = 60%, FastCap vs CPU-only* "
                       "vs Freq-Par* vs Eql-Pwr");
 
-    const SimConfig scfg = SimConfig::defaultConfig(16);
-    const double instr = 30e6;
     const std::vector<std::string> policies{"FastCap", "CPU-only",
                                             "Freq-Par", "Eql-Pwr"};
+
+    SweepGrid grid;
+    grid.configs = SweepGrid::configsForCores({16});
+    grid.workloads = workloads::workloadNames();
+    grid.policies = policies;
+    grid.policies.push_back("Uncapped");
+    grid.budgetFractions = {0.6};
+    grid.targetInstructions = 30e6;
+    // Every policy (and the Uncapped baseline) runs the identical
+    // random trace per workload: paired normalized-CPI comparison.
+    grid.pairSeedsAcrossPolicies = true;
+
+    const SweepResult sw = SweepRunner(grid).run();
+    benchutil::sweepStats(sw);
 
     AsciiTable table({"class / policy", "avg norm CPI",
                       "worst norm CPI", "worst/avg"});
@@ -35,8 +50,8 @@ main()
 
     for (const std::string &cls : benchutil::classNames()) {
         for (const std::string &policy : policies) {
-            const PerfComparison c = benchutil::classComparison(
-                cls, policy, 0.6, instr, scfg);
+            const PerfComparison c =
+                benchutil::classComparison(sw, 0, cls, policy, 0);
             table.addRowNumeric(cls + " " + policy,
                                 {c.average, c.worst, c.unfairness});
             csv.row({cls, policy, AsciiTable::num(c.average, 4),

@@ -14,6 +14,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/metrics.hpp"
+#include "harness/sweep.hpp"
 #include "workload/spec_table.hpp"
 
 namespace fastcap {
@@ -72,6 +73,37 @@ inline std::vector<std::string>
 classNames()
 {
     return {"ILP", "MID", "MEM", "MIX"};
+}
+
+/**
+ * Class-level normalized-CPI comparison out of a completed sweep:
+ * merges the class's workloads, comparing `policy` runs against the
+ * grid's "Uncapped" runs at the same coordinates. The grid must
+ * contain the Uncapped policy and every workload of the class.
+ */
+inline PerfComparison
+classComparison(const SweepResult &sw, std::size_t config_idx,
+                const std::string &cls, const std::string &policy,
+                std::size_t budget_idx)
+{
+    const std::size_t pol = sw.grid.policyIndex(policy);
+    const std::size_t base = sw.grid.policyIndex("Uncapped");
+    std::vector<PerfComparison> parts;
+    for (const std::string &wl : workloads::workloadsOfClass(cls)) {
+        const std::size_t w = sw.grid.workloadIndex(wl);
+        parts.push_back(comparePerformance(
+            sw.at(config_idx, w, pol, budget_idx).result,
+            sw.at(config_idx, w, base, budget_idx).result));
+    }
+    return mergeComparisons(parts);
+}
+
+/** Report a finished sweep's size and speed on stderr. */
+inline void
+sweepStats(const SweepResult &sw)
+{
+    std::fprintf(stderr, "[%zu runs on %d threads, %.2f s]\n",
+                 sw.runs.size(), sw.threads, sw.wallSeconds);
 }
 
 } // namespace benchutil

@@ -16,6 +16,17 @@ ExperimentResult::averagePower() const
 {
     if (epochs.empty())
         return 0.0;
+    double energy = 0.0;
+    double time = 0.0;
+    for (const EpochRecord &e : epochs) {
+        if (e.duration > 0.0) {
+            energy += e.totalPower * e.duration;
+            time += e.duration;
+        }
+    }
+    if (time > 0.0)
+        return energy / time;
+    // Legacy/hand-built records carry no durations: unweighted mean.
     double acc = 0.0;
     for (const EpochRecord &e : epochs)
         acc += e.totalPower;
@@ -29,6 +40,26 @@ ExperimentResult::maxEpochPower() const
     for (const EpochRecord &e : epochs)
         m = std::max(m, e.totalPower);
     return m;
+}
+
+namespace {
+
+/** Latest completion over a set of applications. */
+Seconds
+lastCompletion(const std::vector<AppResult> &apps)
+{
+    Seconds last = 0.0;
+    for (const AppResult &a : apps)
+        last = std::max(last, a.completionTime);
+    return last;
+}
+
+} // namespace
+
+Seconds
+ExperimentResult::makespan() const
+{
+    return lastCompletion(apps);
 }
 
 double
@@ -338,6 +369,18 @@ ExperimentRunner::step()
         wsum;
 
     recordCompletions(epoch_start, instr_before, instr_after);
+
+    // The record covers the full epoch unless the run ends inside it:
+    // the final epoch is truncated at the last completion so that
+    // energy-weighted run averages do not count time past the end.
+    rec.duration = _simCfg.epochLength;
+    if (done()) {
+        const Seconds last = lastCompletion(_apps);
+        if (last > epoch_start)
+            rec.duration = std::min(last - epoch_start,
+                                    _simCfg.epochLength);
+    }
+
     ++_epoch;
     _epochLog.push_back(rec);
     return rec;

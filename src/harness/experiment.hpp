@@ -60,6 +60,14 @@ struct EpochRecord
 {
     int epoch = 0;
     Seconds startTime = 0.0;    //!< virtual time at epoch start
+    /**
+     * Simulated time this record covers. Normally the epoch length;
+     * shorter for the final epoch, which is truncated at the instant
+     * the last application reaches its instruction target. Zero in
+     * hand-built records (averagePower() then falls back to an
+     * unweighted mean).
+     */
+    Seconds duration = 0.0;
     Watts corePower = 0.0;      //!< epoch-average core power
     Watts memPower = 0.0;       //!< epoch-average memory power
     Watts totalPower = 0.0;     //!< epoch-average full-system power
@@ -93,10 +101,18 @@ struct ExperimentResult
     std::vector<EpochRecord> epochs;
     std::vector<AppResult> apps;
 
-    /** Run-average full-system power. */
+    /**
+     * Run-average full-system power, energy-weighted over epochs:
+     * sum(P * dt) / sum(dt). Epochs have unequal durations (the final
+     * epoch is truncated at completion), so an unweighted mean of
+     * per-epoch powers would skew the budget-tracking numbers.
+     * Records without durations fall back to the unweighted mean.
+     */
     Watts averagePower() const;
     /** Highest epoch-average power of the run. */
     Watts maxEpochPower() const;
+    /** Virtual time at which the slowest application completed. */
+    Seconds makespan() const;
     /** averagePower normalized to the peak. */
     double averagePowerFraction() const;
     /** maxEpochPower normalized to the peak. */

@@ -1,8 +1,12 @@
 #include "harness/peak_power.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <initializer_list>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "sim/system.hpp"
@@ -13,22 +17,69 @@ namespace fastcap {
 
 namespace {
 
-/** Cache key over the configuration fields that influence power. */
-std::string
-cacheKey(const SimConfig &cfg)
+/** FNV-1a over the bit patterns of a list of doubles. */
+std::uint64_t
+hashDoubles(std::initializer_list<double> values)
 {
-    char buf[256];
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (double v : values) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+            h ^= (bits >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+/** Hash of everything DVFS-side that shapes the measured peak. */
+std::uint64_t
+dvfsKey(const SimConfig &cfg)
+{
+    // Order-dependent combine (not XOR): repeated ladder entries and
+    // identical (freq, voltage) pairs in the two ladders must not
+    // cancel out.
+    std::uint64_t h = cfg.coreLadder.size() * 0x9e3779b97f4a7c15ULL +
+        cfg.memLadder.size();
+    for (std::size_t i = 0; i < cfg.coreLadder.size(); ++i)
+        h = h * 0x100000001b3ULL ^
+            hashDoubles({cfg.coreLadder.at(i),
+                         cfg.coreVoltage.at(cfg.coreLadder.at(i))});
+    for (std::size_t i = 0; i < cfg.memLadder.size(); ++i)
+        h = h * 0x100000001b3ULL ^
+            hashDoubles({cfg.memLadder.at(i),
+                         cfg.mcVoltage.at(cfg.memLadder.at(i))});
+    return h;
+}
+
+/**
+ * Cache key over every configuration field that influences the
+ * measurement: power parameters, topology, DVFS ladders/voltages,
+ * and the sampling window the measurement runs. Determinism of
+ * parallel sweeps rests on this key being complete — two configs
+ * that measure differently must never share an entry.
+ */
+std::string
+cacheKey(const SimConfig &cfg, int epochs)
+{
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "n=%d mode=%d ctrl=%d banks=%d burst=%.4f "
                   "cdyn=%.3f cst=%.3f sf=%.3f ae=%.3g if=%.3f mc=%.3f "
-                  "mst=%.3f bg=%.3f il=%d",
+                  "mst=%.3f bg=%.3f il=%d skew=%.3f rh=%.3f "
+                  "win=%.6g ep=%d dvfs=%016llx",
                   cfg.numCores, static_cast<int>(cfg.execMode),
                   cfg.numControllers, cfg.banksPerController,
                   cfg.busBurstCycles, cfg.corePower.dynMax,
                   cfg.corePower.staticPower, cfg.corePower.stallFactor,
                   cfg.memPower.accessEnergy, cfg.memPower.interfaceMax,
                   cfg.memPower.mcMax, cfg.memPower.staticPower,
-                  cfg.backgroundPower, static_cast<int>(cfg.interleave));
+                  cfg.backgroundPower, static_cast<int>(cfg.interleave),
+                  cfg.skewHotFraction, cfg.rowHitRate,
+                  cfg.profileWindow, epochs,
+                  static_cast<unsigned long long>(dvfsKey(cfg)));
     return std::string(buf);
 }
 
@@ -39,25 +90,44 @@ cache()
     return c;
 }
 
+/** Guards cache(); sweep workers measure peaks concurrently. */
+std::mutex &
+cacheMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 Watts
 measuredPeakPower(const SimConfig &cfg, int epochs)
 {
-    const std::string key = cacheKey(cfg);
+    // Serializing the whole measurement keeps concurrent first
+    // callers from duplicating work; cache hits only pay the lock.
+    std::lock_guard<std::mutex> lock(cacheMutex());
+    const std::string key = cacheKey(cfg, epochs);
     auto it = cache().find(key);
     if (it != cache().end())
         return it->second;
+
+    // Measure with a fixed seed: the cache key covers only the
+    // power-relevant config fields, so the cached value must not
+    // depend on which caller's cfg.seed populates it first (sweep
+    // runs with derived per-run seeds would otherwise make results
+    // depend on completion order).
+    SimConfig mcfg = cfg;
+    mcfg.seed = SimConfig().seed;
 
     Watts peak = 0.0;
     // The compute-bound mixes draw the highest power; measuring the
     // ILP class at max frequency gives the observed peak.
     for (const std::string &wl : workloads::workloadsOfClass("ILP")) {
-        ManyCoreSystem system(cfg, workloads::mix(wl, cfg.numCores));
+        ManyCoreSystem system(mcfg, workloads::mix(wl, mcfg.numCores));
         system.maxFrequencies();
         for (int e = 0; e < epochs; ++e) {
             // Sampled window per epoch, mirroring the runner.
-            const WindowStats w = system.runWindow(cfg.profileWindow);
+            const WindowStats w = system.runWindow(mcfg.profileWindow);
             peak = std::max(peak, w.totalPower());
         }
     }
@@ -73,6 +143,7 @@ measuredPeakPower(const SimConfig &cfg, int epochs)
 void
 clearPeakPowerCache()
 {
+    std::lock_guard<std::mutex> lock(cacheMutex());
     cache().clear();
 }
 

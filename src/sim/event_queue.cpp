@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -12,17 +13,26 @@ EventQueue::schedule(Seconds when, Callback cb)
     if (when < _now)
         panic("EventQueue::schedule: event in the past (%g < %g)",
               when, _now);
-    _heap.push(Entry{when, _seq++, std::move(cb)});
+    _heap.push_back(Entry{when, _seq++, std::move(cb)});
+    std::push_heap(_heap.begin(), _heap.end(), Later{});
+}
+
+EventQueue::Entry
+EventQueue::popEntry()
+{
+    std::pop_heap(_heap.begin(), _heap.end(), Later{});
+    Entry e = std::move(_heap.back());
+    _heap.pop_back();
+    return e;
 }
 
 std::uint64_t
 EventQueue::runUntil(Seconds t_end)
 {
     std::uint64_t ran = 0;
-    while (!_heap.empty() && _heap.top().when <= t_end) {
-        // Copy out before pop so the callback may schedule freely.
-        Entry e = std::move(const_cast<Entry &>(_heap.top()));
-        _heap.pop();
+    while (!_heap.empty() && _heap.front().when <= t_end) {
+        // Extract before running so the callback may schedule freely.
+        Entry e = popEntry();
         _now = e.when;
         e.cb();
         ++ran;
@@ -38,8 +48,7 @@ EventQueue::step()
 {
     if (_heap.empty())
         return false;
-    Entry e = std::move(const_cast<Entry &>(_heap.top()));
-    _heap.pop();
+    Entry e = popEntry();
     _now = e.when;
     e.cb();
     ++_processed;
@@ -49,8 +58,7 @@ EventQueue::step()
 void
 EventQueue::clear()
 {
-    while (!_heap.empty())
-        _heap.pop();
+    _heap.clear();
 }
 
 } // namespace fastcap

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/units.hpp"
@@ -92,7 +91,18 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Move the earliest entry out of the heap. */
+    Entry popEntry();
+
+    /**
+     * Binary min-heap over (when, seq), managed with std::push_heap /
+     * std::pop_heap rather than std::priority_queue: priority_queue
+     * only exposes a const top(), which forces a const_cast to move
+     * the callback out. pop_heap hands us the extracted entry as the
+     * mutable back element, so extraction needs no casts and the
+     * callback is moved, never copied.
+     */
+    std::vector<Entry> _heap;
     Seconds _now = 0.0;
     std::uint64_t _seq = 0;
     std::uint64_t _processed = 0;

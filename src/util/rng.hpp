@@ -17,6 +17,28 @@
 
 namespace fastcap {
 
+/** SplitMix64 output mixing function (Steele, Lea & Flood). */
+inline std::uint64_t
+splitmix64Mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * n-th output of the SplitMix64 stream seeded with `base`, in O(1):
+ * the stream's state is just base + (n+1) * golden-ratio increment,
+ * so any output can be computed directly. Used to derive independent
+ * per-run seeds from (baseSeed, runIndex) — bit-identical no matter
+ * which thread runs which grid point in which order.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t base, std::uint64_t n)
+{
+    return splitmix64Mix(base + (n + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
 /**
  * xoshiro256** generator with SplitMix64 seeding.
  *
@@ -32,15 +54,8 @@ class Rng
     /** Seed the four lanes from a single 64-bit seed via SplitMix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
     {
-        std::uint64_t x = seed;
-        for (auto &lane : _state) {
-            // SplitMix64 step.
-            x += 0x9e3779b97f4a7c15ULL;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-            lane = z ^ (z >> 31);
-        }
+        for (std::size_t i = 0; i < _state.size(); ++i)
+            _state[i] = splitmix64(seed, i);
     }
 
     static constexpr result_type min() { return 0; }

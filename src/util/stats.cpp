@@ -101,6 +101,12 @@ TimeWeightedStat::mean(double now) const
     return area / span;
 }
 
+Ewma::Ewma(double alpha) : _alpha(alpha)
+{
+    if (!(alpha > 0.0) || alpha > 1.0)
+        fatal("Ewma: alpha must be in (0, 1] (got %g)", alpha);
+}
+
 void
 Ewma::add(double x)
 {
@@ -163,6 +169,20 @@ Histogram::quantile(double q) const
     if (_total == 0)
         return _lo;
     q = std::clamp(q, 0.0, 1.0);
+
+    // q = 1 with nothing past the top: the maximum observed value
+    // lies in the highest occupied bin, so report that bin's upper
+    // edge rather than the histogram bound _hi. Handled explicitly
+    // because the general path depends on `target <= cum` holding
+    // exactly at the top bin, which breaks once counts exceed 2^53
+    // and q * total rounds up — then it would fall through to _hi.
+    if (q >= 1.0 && _overflow == 0) {
+        for (std::size_t i = _counts.size(); i-- > 0;)
+            if (_counts[i] > 0)
+                return binHi(i);
+        return _lo; // only underflow samples
+    }
+
     const double target = q * static_cast<double>(_total);
 
     double cum = static_cast<double>(_underflow);

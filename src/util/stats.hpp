@@ -77,12 +77,19 @@ class TimeWeightedStat
 class Ewma
 {
   public:
-    /** @param alpha weight of the newest sample, in (0, 1]. */
-    explicit Ewma(double alpha = 0.25) : _alpha(alpha) {}
+    /**
+     * @param alpha weight of the newest sample, in (0, 1]. Values
+     *              outside that range are a user error and fatal():
+     *              alpha <= 0 freezes the average at its seed (or
+     *              diverges for negative alpha), alpha > 1
+     *              oscillates.
+     */
+    explicit Ewma(double alpha = 0.25);
 
     void reset() { _seeded = false; _value = 0.0; }
     void add(double x);
     double value() const { return _value; }
+    double alpha() const { return _alpha; }
     bool seeded() const { return _seeded; }
 
   private:

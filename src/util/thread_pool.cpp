@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+std::size_t
+ThreadPool::hardwareWorkers()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        workers = hardwareWorkers();
+    _workers.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(Job job)
+{
+    if (!job)
+        panic("ThreadPool::submit: empty job");
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (_stopping)
+            panic("ThreadPool::submit: pool is shutting down");
+        _jobs.push_back(std::move(job));
+    }
+    _wake.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    _idle.wait(lock, [this] { return _jobs.empty() && _active == 0; });
+    if (_firstError) {
+        std::exception_ptr err = std::exchange(_firstError, nullptr);
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(_mu);
+    for (;;) {
+        _wake.wait(lock,
+                   [this] { return _stopping || !_jobs.empty(); });
+        if (_jobs.empty()) // stopping and drained
+            return;
+        Job job = std::move(_jobs.front());
+        _jobs.pop_front();
+        ++_active;
+        lock.unlock();
+        try {
+            job();
+        } catch (...) {
+            lock.lock();
+            if (!_firstError)
+                _firstError = std::current_exception();
+            --_active;
+            if (_jobs.empty() && _active == 0)
+                _idle.notify_all();
+            continue;
+        }
+        lock.lock();
+        --_active;
+        if (_jobs.empty() && _active == 0)
+            _idle.notify_all();
+    }
+}
+
+} // namespace fastcap

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fixed-size worker pool for fanning independent jobs out over
+ * threads. Built for the sweep runner: submit every grid point, then
+ * wait() for the batch. Determinism is the caller's responsibility —
+ * jobs must not share mutable state, and each job's output must
+ * depend only on its own inputs (the sweep derives a per-run seed
+ * for exactly this reason).
+ */
+
+#ifndef FASTCAP_UTIL_THREAD_POOL_HPP
+#define FASTCAP_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastcap {
+
+/**
+ * A fixed set of worker threads draining a FIFO job queue.
+ *
+ * Usage:
+ *   ThreadPool pool(8);
+ *   for (std::size_t i = 0; i < n; ++i)
+ *       pool.submit([i, &out] { out[i] = compute(i); });
+ *   pool.wait();   // rethrows the first job exception, if any
+ *
+ * The pool is reusable: submit/wait cycles may repeat. Destruction
+ * joins the workers after the queue drains.
+ */
+class ThreadPool
+{
+  public:
+    using Job = std::function<void()>;
+
+    /** @param workers worker count; 0 means hardwareWorkers(). */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Drains remaining jobs, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t workerCount() const { return _workers.size(); }
+
+    /** Enqueue a job. Jobs may themselves submit more jobs. */
+    void submit(Job job);
+
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrows the first exception (by submission-drain order) and
+     * discards the rest.
+     */
+    void wait();
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static std::size_t hardwareWorkers();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<Job> _jobs;
+    mutable std::mutex _mu;
+    std::condition_variable _wake; //!< signals workers: job or stop
+    std::condition_variable _idle; //!< signals wait(): batch done
+    std::size_t _active = 0;       //!< jobs currently executing
+    bool _stopping = false;
+    std::exception_ptr _firstError;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_THREAD_POOL_HPP

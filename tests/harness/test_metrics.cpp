@@ -117,6 +117,44 @@ TEST(Metrics, TrackingErrorIsMeanRelativeDeviation)
     EXPECT_NEAR(budgetTrackingError(res), 0.1, 1e-12);
 }
 
+TEST(Metrics, AveragePowerIsEnergyWeighted)
+{
+    // Epochs of unequal duration: 1 s at 100 W plus 3 s at 50 W is
+    // 250 J over 4 s = 62.5 W, not the unweighted 75 W.
+    ExperimentResult res = syntheticResult({1e-9});
+    EpochRecord a = epoch(0, 100.0);
+    a.duration = 1.0;
+    EpochRecord b = epoch(1, 50.0);
+    b.duration = 3.0;
+    res.epochs = {a, b};
+    EXPECT_NEAR(res.averagePower(), 62.5, 1e-12);
+    res.peakPower = 100.0;
+    EXPECT_NEAR(res.averagePowerFraction(), 0.625, 1e-12);
+}
+
+TEST(Metrics, TruncatedFinalEpochCarriesLessWeight)
+{
+    // A short final epoch (run completed just after it started) must
+    // barely move the run average.
+    ExperimentResult res = syntheticResult({1e-9});
+    EpochRecord full = epoch(0, 60.0);
+    full.duration = 5e-3;
+    EpochRecord stub = epoch(1, 10.0);
+    stub.duration = 5e-6; // 0.1% of an epoch
+    res.epochs = {full, stub};
+    EXPECT_GT(res.averagePower(), 59.9);
+    EXPECT_LT(res.averagePower(), 60.0);
+}
+
+TEST(Metrics, AveragePowerFallsBackWhenDurationsAbsent)
+{
+    // Hand-built records without durations keep the historical
+    // unweighted-mean behaviour.
+    ExperimentResult res = syntheticResult({1e-9});
+    res.epochs = {epoch(0, 100.0), epoch(1, 50.0)};
+    EXPECT_NEAR(res.averagePower(), 75.0, 1e-12);
+}
+
 TEST(Metrics, EmptyEpochLogsAreSafe)
 {
     const ExperimentResult res = syntheticResult({1e-9});

@@ -65,6 +65,31 @@ TEST(PeakPower, CacheInvalidation)
     EXPECT_GT(c, b);
 }
 
+TEST(PeakPower, SeedDoesNotInfluenceCachedValue)
+{
+    // The cache key covers only measurement-relevant fields, so the
+    // measurement itself must not depend on cfg.seed: otherwise the
+    // first caller's seed would leak into every later lookup.
+    SimConfig cfg = SimConfig::defaultConfig(4);
+    cfg.seed = 0x1111111111111111ULL;
+    const Watts a = measuredPeakPower(cfg);
+    clearPeakPowerCache();
+    cfg.seed = 0x2222222222222222ULL;
+    const Watts b = measuredPeakPower(cfg);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(PeakPower, SamplingWindowIsPartOfTheCacheKey)
+{
+    // The measurement runs cfg.profileWindow-long windows, so two
+    // configs differing only there must not share a cache entry.
+    SimConfig cfg = SimConfig::defaultConfig(4);
+    const Watts a = measuredPeakPower(cfg);
+    cfg.profileWindow = cfg.profileWindow * 4.0;
+    const Watts b = measuredPeakPower(cfg);
+    EXPECT_NE(a, b) << "longer windows observe different peaks";
+}
+
 TEST(PeakPower, PaperBandAt16Cores)
 {
     // Paper: 120 W at 16 cores. Our calibration lands in the same

@@ -69,6 +69,38 @@ TEST(Experiment, DeterministicAcrossRuns)
                          b.apps[i].completionTime);
 }
 
+TEST(Experiment, EpochDurationsCoverRunAndTruncateAtCompletion)
+{
+    const SimConfig scfg = SimConfig::defaultConfig(8);
+    const ExperimentResult res =
+        runWorkload("MIX1", "FastCap", quickConfig(), scfg);
+    ASSERT_TRUE(res.allCompleted());
+    ASSERT_FALSE(res.epochs.empty());
+
+    // Every epoch but the last covers the full epoch length; the
+    // last is truncated at the final completion.
+    for (std::size_t i = 0; i + 1 < res.epochs.size(); ++i)
+        EXPECT_DOUBLE_EQ(res.epochs[i].duration, scfg.epochLength)
+            << "epoch " << i;
+    const EpochRecord &last = res.epochs.back();
+    EXPECT_GT(last.duration, 0.0);
+    EXPECT_LE(last.duration, scfg.epochLength);
+
+    Seconds finish = 0.0;
+    for (const AppResult &a : res.apps)
+        finish = std::max(finish, a.completionTime);
+    EXPECT_NEAR(last.startTime + last.duration, finish, 1e-12);
+
+    // The energy-weighted run average equals sum(P dt) / sum(dt).
+    double energy = 0.0;
+    double time = 0.0;
+    for (const EpochRecord &e : res.epochs) {
+        energy += e.totalPower * e.duration;
+        time += e.duration;
+    }
+    EXPECT_NEAR(res.averagePower(), energy / time, 1e-9);
+}
+
 TEST(Experiment, UncappedFinishesFasterThanCapped)
 {
     const SimConfig scfg = SimConfig::defaultConfig(16);

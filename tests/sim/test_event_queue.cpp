@@ -118,6 +118,56 @@ TEST(EventQueue, StepRunsSingleEvent)
     EXPECT_FALSE(q.step());
 }
 
+TEST(EventQueue, FifoTieBreakSurvivesHeapChurn)
+{
+    // Regression: extraction must preserve scheduling order for
+    // same-timestamp events even after the heap has been grown,
+    // drained and re-grown (entries sifted through many positions).
+    EventQueue q;
+    std::vector<int> order;
+
+    // Churn phase: a spread of timestamps, partially drained.
+    for (int i = 0; i < 32; ++i)
+        q.schedule((32 - i) * 1e-9, [] {});
+    q.runUntil(16e-9);
+
+    // Interleave equal-time events with earlier and later ones.
+    for (int i = 0; i < 8; ++i) {
+        q.schedule(100e-9, [&order, i] { order.push_back(i); });
+        q.schedule(90e-9 + i * 1e-9, [] {});
+        q.schedule(110e-9, [&order, i] { order.push_back(100 + i); });
+    }
+    q.runUntil(1e-6);
+
+    EXPECT_EQ(order,
+              (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 100, 101,
+                                102, 103, 104, 105, 106, 107}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackStateSurvivesExtraction)
+{
+    // The extraction pattern must move the callback out of the heap
+    // before popping: a callback that schedules into the same queue
+    // while the heap reallocates must still run with its captures
+    // intact.
+    EventQueue q;
+    std::vector<int> seen;
+    auto big = std::vector<int>(64, 7); // force non-trivial capture
+    q.schedule(1e-9, [&q, &seen, big] {
+        seen.push_back(big[0]);
+        for (int i = 0; i < 16; ++i)
+            q.scheduleAfter((i + 1) * 1e-9, [&seen, i] {
+                seen.push_back(i);
+            });
+    });
+    q.runUntil(1e-6);
+    ASSERT_EQ(seen.size(), 17u);
+    EXPECT_EQ(seen[0], 7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i) + 1], i);
+}
+
 TEST(EventQueue, ClearDropsPending)
 {
     EventQueue q;

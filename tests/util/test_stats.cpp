@@ -147,10 +147,46 @@ TEST(Histogram, QuantileInterpolation)
     EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
 }
 
+TEST(Ewma, RejectsAlphaOutsideUnitInterval)
+{
+    EXPECT_THROW(Ewma(0.0), FatalError);   // frozen average
+    EXPECT_THROW(Ewma(-0.5), FatalError);  // divergent
+    EXPECT_THROW(Ewma(1.5), FatalError);   // oscillating
+    EXPECT_NO_THROW(Ewma(1.0));            // degenerate but valid
+    EXPECT_NO_THROW(Ewma(1e-9));
+}
+
 TEST(Histogram, RejectsBadConstruction)
 {
     EXPECT_THROW(Histogram(1.0, 1.0, 10), FatalError);
     EXPECT_THROW(Histogram(0.0, 10.0, 0), FatalError);
+}
+
+TEST(Histogram, TopQuantileEndsAtHighestOccupiedBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(2.5); // bin 2
+    h.add(5.5); // bin 5
+    h.add(5.7); // bin 5
+    // No overflow: the maximum lives in bin 5, so q=1 must report
+    // that bin's upper edge, not the histogram bound 10.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), h.binHi(5));
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
+TEST(Histogram, TopQuantileWithOverflowIsUpperBound)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(2.5);
+    h.add(42.0); // overflow: the true max is beyond the range
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, TopQuantileOnlyUnderflowIsLowerBound)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
 }
 
 TEST(Histogram, ResetClearsEverything)

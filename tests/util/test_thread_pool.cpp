@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the worker pool: job execution, batch wait semantics,
+ * reuse across batches, exception propagation and shutdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitBlocksUntilBatchFinishes)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++done;
+        });
+    pool.wait();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, ResultsLandInPreallocatedSlots)
+{
+    // The sweep-runner pattern: each job writes only its own index.
+    const std::size_t n = 64;
+    std::vector<int> out(n, -1);
+    ThreadPool pool(8);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&out, i] { out[i] = static_cast<int>(i) * 3; });
+    pool.wait();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 4; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.submit([] { fatal("job failed on purpose"); });
+    EXPECT_THROW(pool.wait(), FatalError);
+    // The pool survives a failed batch.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(ThreadPool, JobsMaySubmitMoreJobs)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&pool, &count] {
+        ++count;
+        for (int i = 0; i < 4; ++i)
+            pool.submit([&count] { ++count; });
+    });
+    pool.wait();
+    EXPECT_EQ(count.load(), 5);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.workerCount(), 1u);
+    EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+}
+
+TEST(ThreadPool, EmptyJobPanics)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.submit(ThreadPool::Job()), PanicError);
+}
+
+TEST(ThreadPool, DestructionDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must still run everything.
+    }
+    EXPECT_EQ(count.load(), 20);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * fastcap_sweep — run a grid of power-capping experiments in
+ * parallel.
+ *
+ *   fastcap_sweep --workloads MIX1,MIX3 --policies FastCap,Eql-Pwr \
+ *                 --budgets 0.5,0.6,0.7 --cores 16 --threads 8 \
+ *                 --csv sweep.csv
+ *
+ * The grid is the cross-product of every list-valued flag (plus
+ * --replicates as a seed dimension). Results are deterministic for a
+ * given grid and --seed: each run's simulation seed is derived from
+ * (seed, run index) with SplitMix64, so the emitted CSV/JSON is
+ * byte-identical regardless of --threads.
+ *
+ * A grid can also be loaded from a small spec file (--spec) holding
+ * `key = value` lines with the same keys as the flags, e.g.:
+ *
+ *   workloads = ILP1,MEM2
+ *   policies  = FastCap,Uncapped
+ *   budgets   = 0.6
+ *   cores     = 16,32
+ *
+ * Explicit flags override spec-file values.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "policies/registry.hpp"
+#include "util/args.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_table.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        // Trim surrounding spaces so "a, b" parses as {"a", "b"}.
+        const auto first = item.find_first_not_of(" \t");
+        const auto last = item.find_last_not_of(" \t");
+        if (first != std::string::npos)
+            out.push_back(item.substr(first, last - first + 1));
+    }
+    return out;
+}
+
+std::vector<double>
+splitDoubles(const std::string &csv, const char *what)
+{
+    std::vector<double> out;
+    for (const std::string &s : splitList(csv)) {
+        char *end = nullptr;
+        const double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str() || *end != '\0')
+            fatal("bad %s value '%s'", what, s.c_str());
+        out.push_back(v);
+    }
+    return out;
+}
+
+std::vector<int>
+splitInts(const std::string &csv, const char *what)
+{
+    std::vector<int> out;
+    for (const std::string &s : splitList(csv)) {
+        char *end = nullptr;
+        const long v = std::strtol(s.c_str(), &end, 10);
+        // Strict: "16.9" or "1e2" must not silently truncate.
+        if (end == s.c_str() || *end != '\0')
+            fatal("bad %s value '%s' (expected an integer)", what,
+                  s.c_str());
+        out.push_back(static_cast<int>(v));
+    }
+    return out;
+}
+
+/** Single numeric value; empty input is a clean user error. */
+double
+oneDouble(const std::string &s, const char *what)
+{
+    const std::vector<double> v = splitDoubles(s, what);
+    if (v.size() != 1)
+        fatal("expected one %s value (got '%s')", what, s.c_str());
+    return v.front();
+}
+
+/** Single integer value; empty input is a clean user error. */
+int
+oneInt(const std::string &s, const char *what)
+{
+    const std::vector<int> v = splitInts(s, what);
+    if (v.size() != 1)
+        fatal("expected one %s value (got '%s')", what, s.c_str());
+    return v.front();
+}
+
+/** "true"/"false"/"1"/"0" for spec-file booleans. */
+bool
+parseBool(const std::string &s, const char *what)
+{
+    if (s == "true" || s == "1")
+        return true;
+    if (s == "false" || s == "0")
+        return false;
+    fatal("bad %s value '%s' (expected true/false)", what, s.c_str());
+}
+
+/** Parse `key = value` lines; '#' starts a comment. */
+std::map<std::string, std::string>
+readSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open spec file '%s'",
+              path.c_str());
+    std::map<std::string, std::string> kv;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            if (line.find_first_not_of(" \t\r") != std::string::npos)
+                fatal("%s:%d: expected 'key = value'",
+                      path.c_str(), lineno);
+            continue;
+        }
+        auto trim = [](std::string s) {
+            const auto a = s.find_first_not_of(" \t\r");
+            if (a == std::string::npos)
+                return std::string();
+            const auto b = s.find_last_not_of(" \t\r");
+            return s.substr(a, b - a + 1);
+        };
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("%s:%d: empty key", path.c_str(),
+                  lineno);
+        kv[key] = value;
+    }
+    return kv;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("fastcap_sweep",
+                   "parallel grid sweep over capping experiments");
+    args.addString("workloads", "",
+                   "comma-separated Table III workloads "
+                   "(default: all 16)");
+    args.addString("classes", "",
+                   "workload classes (ILP,MID,MEM,MIX); expands to "
+                   "their workloads");
+    args.addString("policies", "FastCap", "comma-separated policies");
+    args.addString("budgets", "0.6",
+                   "comma-separated budget fractions of peak");
+    args.addString("cores", "16", "comma-separated core counts");
+    args.addString("replicates", "1",
+                   "runs per grid point (fresh derived seed each)");
+    args.addString("instructions", "30e6",
+                   "instructions per application");
+    args.addString("max-epochs", "2000", "epoch cap per run");
+    args.addString("seed", "0",
+                   "base seed for per-run seed derivation "
+                   "(0 = default)");
+    args.addString("spec", "",
+                   "grid spec file with 'key = value' lines "
+                   "(flags override)");
+    args.addFlag("paired-seeds",
+                 "runs differing only in policy/budget share a seed "
+                 "(for normalized comparisons)");
+    args.addInt("threads", 0, "worker threads (0 = hardware)");
+    args.addString("csv", "", "write run CSV to this file "
+                              "(default: stdout)");
+    args.addString("json", "", "also write run JSON to this file");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    try {
+        std::map<std::string, std::string> spec;
+        if (!args.getString("spec").empty())
+            spec = readSpecFile(args.getString("spec"));
+        for (const auto &kv : spec) {
+            static const char *known[] = {
+                "workloads", "classes",      "policies",
+                "budgets",   "cores",        "replicates",
+                "instructions", "max-epochs", "seed",
+                "paired-seeds"};
+            bool ok = false;
+            for (const char *k : known)
+                ok = ok || kv.first == k;
+            if (!ok)
+                fatal("unknown spec key '%s'",
+                      kv.first.c_str());
+        }
+        // Flag wins over spec file; spec wins over the default.
+        auto value = [&](const char *name) -> std::string {
+            if (!args.provided(name) && spec.count(name))
+                return spec.at(name);
+            return args.getString(name);
+        };
+
+        SweepGrid grid;
+        grid.configs =
+            SweepGrid::configsForCores(splitInts(value("cores"),
+                                                 "cores"));
+        // Merge classes and explicit workloads, keeping the first
+        // occurrence of each name (a workload may appear in both).
+        auto addWorkload = [&grid](const std::string &wl) {
+            for (const std::string &have : grid.workloads)
+                if (have == wl)
+                    return;
+            grid.workloads.push_back(wl);
+        };
+        for (const std::string &cls :
+             splitList(value("classes")))
+            for (const std::string &wl :
+                 workloads::workloadsOfClass(cls))
+                addWorkload(wl);
+        for (const std::string &wl : splitList(value("workloads")))
+            addWorkload(wl);
+        if (grid.workloads.empty())
+            grid.workloads = workloads::workloadNames();
+        grid.policies = splitList(value("policies"));
+        grid.budgetFractions = splitDoubles(value("budgets"),
+                                            "budget");
+        grid.replicates = oneInt(value("replicates"), "replicates");
+        grid.targetInstructions =
+            oneDouble(value("instructions"), "instructions");
+        grid.maxEpochs = oneInt(value("max-epochs"), "max-epochs");
+        // Full 64-bit seeds, decimal or 0x-hex. Reject negatives
+        // rather than letting strtoull wrap them around silently.
+        const std::string seed_str = value("seed");
+        char *end = nullptr;
+        const std::uint64_t seed =
+            std::strtoull(seed_str.c_str(), &end, 0);
+        if (end == seed_str.c_str() || *end != '\0' ||
+            seed_str.find('-') != std::string::npos)
+            fatal("bad seed '%s'", seed_str.c_str());
+        if (seed != 0)
+            grid.baseSeed = seed;
+        // The flag form is boolean-valued, the spec form true/false.
+        grid.pairSeedsAcrossPolicies =
+            args.getFlag("paired-seeds") ||
+            (spec.count("paired-seeds") &&
+             parseBool(spec.at("paired-seeds"), "paired-seeds"));
+
+        SweepRunner runner(grid,
+                           static_cast<int>(args.getInt("threads")));
+        const SweepResult result = runner.run();
+
+        std::fprintf(stderr,
+                     "fastcap_sweep: %zu runs on %d threads in %.2f s "
+                     "(%.2f runs/s)\n",
+                     result.runs.size(), result.threads,
+                     result.wallSeconds,
+                     result.wallSeconds > 0.0
+                         ? static_cast<double>(result.runs.size()) /
+                               result.wallSeconds
+                         : 0.0);
+
+        if (args.getString("csv").empty()) {
+            result.writeCsv(stdout);
+        } else {
+            std::FILE *out =
+                std::fopen(args.getString("csv").c_str(), "w");
+            if (!out)
+                fatal("cannot write '%s'",
+                      args.getString("csv").c_str());
+            result.writeCsv(out);
+            std::fclose(out);
+        }
+        if (!args.getString("json").empty()) {
+            std::FILE *out =
+                std::fopen(args.getString("json").c_str(), "w");
+            if (!out)
+                fatal("cannot write '%s'",
+                      args.getString("json").c_str());
+            result.writeJson(out);
+            std::fclose(out);
+        }
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fastcap_sweep: %s\n", e.what());
+        return 1;
+    }
+}
