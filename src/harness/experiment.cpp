@@ -100,6 +100,15 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
         fatal("ExperimentRunner: budget fraction must be in (0, 1]");
     if (_cfg.targetInstructions <= 0.0)
         fatal("ExperimentRunner: target instructions must be positive");
+    _baseBudgetFraction = _cfg.budgetFraction;
+
+    // Scenario workload events know their core index only as a
+    // number; check it against this system before the run starts.
+    for (const WorkloadEvent &ev : _cfg.scenario.workload.events())
+        if (ev.core >= _simCfg.numCores)
+            fatal("ExperimentRunner: scenario event at t=%g targets "
+                  "core %d but the system has %d cores", ev.time,
+                  ev.core, _simCfg.numCores);
 
     if (_cfg.peakPowerOverride > 0.0)
         _peakPower = _cfg.peakPowerOverride;
@@ -299,12 +308,39 @@ ExperimentRunner::recordCompletions(
     }
 }
 
+void
+ExperimentRunner::applyScenario(Seconds now)
+{
+    const Scenario &sc = _cfg.scenario;
+    if (!sc.budget.empty())
+        // Fallback is the *live* fraction: before the schedule's
+        // first segment, mid-run budgetFraction() calls stay in
+        // effect; from the first segment on, the schedule owns it.
+        _cfg.budgetFraction =
+            sc.budget.fractionAt(now, _cfg.budgetFraction);
+
+    const std::vector<WorkloadEvent> &events = sc.workload.events();
+    while (_nextWorkloadEvent < events.size() &&
+           events[_nextWorkloadEvent].time <= now) {
+        const WorkloadEvent &ev = events[_nextWorkloadEvent];
+        // The AppResult keeps tracking the core's original
+        // instruction target: scenarios study the transient power
+        // response, not per-job completion.
+        _system.swapApp(ev.core, WorkloadSchedule::resolve(ev.app));
+        ++_nextWorkloadEvent;
+    }
+}
+
 EpochRecord
 ExperimentRunner::step()
 {
     const int n = _simCfg.numCores;
     const Seconds epoch_start =
         static_cast<double>(_epoch) * _simCfg.epochLength;
+
+    // Scenario first: the budget the policy sees this epoch and the
+    // mix the profiling window measures are those of `epoch_start`.
+    applyScenario(epoch_start);
 
     std::vector<double> instr_before(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
@@ -399,8 +435,14 @@ ExperimentRunner::run()
     ExperimentResult res;
     res.policy = _policy.name();
     res.peakPower = _peakPower;
-    res.budget = budget();
-    res.budgetFraction = _cfg.budgetFraction;
+    // Under a budget schedule, report the configured base fraction
+    // (per-epoch budgets live in the records); without one, report
+    // the live value so mid-run budgetFraction() calls stay visible.
+    const double frac = _cfg.scenario.budget.empty()
+                            ? _cfg.budgetFraction
+                            : _baseBudgetFraction;
+    res.budget = frac * _peakPower;
+    res.budgetFraction = frac;
     res.epochs = _epochLog;
     res.apps = _apps;
     return res;

@@ -25,6 +25,7 @@
 #include "core/inputs.hpp"
 #include "core/model_fitter.hpp"
 #include "core/policy.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/system.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -53,6 +54,14 @@ struct ExperimentConfig
      * `bench_ablation_fit` design study; leave false otherwise.
      */
     bool linearPowerModel = false;
+    /**
+     * Time-varying scenario: budget schedule sampled and workload
+     * events applied at every epoch boundary. The default (constant)
+     * scenario leaves the run bit-identical to a scenario-less one.
+     * A non-empty budget schedule overrides `budgetFraction` (and any
+     * mid-run budgetFraction() calls) from its first segment on.
+     */
+    Scenario scenario;
 };
 
 /** Per-epoch record for time-series figures. */
@@ -163,6 +172,8 @@ class ExperimentRunner
     void recordCompletions(Seconds epoch_start,
                            const std::vector<double> &instr_before,
                            const std::vector<double> &instr_after);
+    /** Budget schedule + due workload events at an epoch boundary. */
+    void applyScenario(Seconds now);
 
     SimConfig _simCfg;
     ManyCoreSystem _system;
@@ -171,6 +182,10 @@ class ExperimentRunner
     ModelFitter _fitter;
     PolicyInputs _inputs;
     Watts _peakPower = 0.0;
+    /** Configured (pre-schedule) budget fraction, for reporting. */
+    double _baseBudgetFraction = 0.0;
+    /** Next unapplied WorkloadSchedule event. */
+    std::size_t _nextWorkloadEvent = 0;
     int _epoch = 0;
     std::vector<AppResult> _apps;
     std::vector<EpochRecord> _epochLog;

@@ -95,6 +95,79 @@ summarizePower(const ExperimentResult &result)
     return s;
 }
 
+TransientSummary
+analyzeTransients(const ExperimentResult &result, double tolerance)
+{
+    if (tolerance < 0.0)
+        fatal("analyzeTransients: negative tolerance %g", tolerance);
+    TransientSummary s;
+    const std::vector<EpochRecord> &ep = result.epochs;
+    if (ep.empty())
+        return s;
+
+    std::size_t violations = 0;
+    for (const EpochRecord &e : ep) {
+        if (e.totalPower > e.budget * (1.0 + tolerance))
+            ++violations;
+        s.overshootEnergy +=
+            std::max(0.0, e.totalPower - e.budget) * e.duration;
+    }
+    s.violationRate = static_cast<double>(violations) /
+        static_cast<double>(ep.size());
+
+    // A maximal run of consecutive budget decreases is one drop — a
+    // ramp down, or the descending half of a sinusoid, is a single
+    // transient rather than one per epoch. The observation window
+    // runs from the bottom of the descent until the next budget
+    // change (of either direction) or the end of the run.
+    for (std::size_t k = 1; k < ep.size(); ++k) {
+        if (ep[k].budget >= ep[k - 1].budget)
+            continue;
+        std::size_t bottom = k;
+        while (bottom + 1 < ep.size() &&
+               ep[bottom + 1].budget < ep[bottom].budget)
+            ++bottom;
+        std::size_t window_end = ep.size();
+        for (std::size_t j = bottom + 1; j < ep.size(); ++j) {
+            if (ep[j].budget != ep[bottom].budget) {
+                window_end = j;
+                break;
+            }
+        }
+
+        BudgetTransient tr;
+        tr.epoch = ep[k].epoch;
+        tr.before = ep[k - 1].budget;
+        tr.after = ep[bottom].budget;
+
+        // Settled at the earliest post-descent epoch whose whole
+        // suffix (within the window) stays inside the tolerance band.
+        std::size_t settle = window_end;
+        for (std::size_t j = window_end; j-- > bottom;) {
+            if (ep[j].totalPower > ep[j].budget * (1.0 + tolerance))
+                break;
+            settle = j;
+        }
+        tr.settlingEpochs =
+            settle == window_end ? -1
+                                 : static_cast<int>(settle - bottom);
+        // Overshoot accrues from the start of the descent.
+        for (std::size_t j = k; j < settle; ++j)
+            tr.overshootEnergy +=
+                std::max(0.0, ep[j].totalPower - ep[j].budget) *
+                ep[j].duration;
+
+        if (tr.settlingEpochs < 0 || s.worstSettlingEpochs < 0)
+            s.worstSettlingEpochs = -1;
+        else
+            s.worstSettlingEpochs = std::max(s.worstSettlingEpochs,
+                                             tr.settlingEpochs);
+        s.drops.push_back(tr);
+        k = bottom; // resume past the descent
+    }
+    return s;
+}
+
 double
 budgetTrackingError(const ExperimentResult &result)
 {

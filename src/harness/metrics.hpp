@@ -61,6 +61,55 @@ PowerSummary summarizePower(const ExperimentResult &result);
 /** Mean |power - budget| / budget over epochs (tracking error). */
 double budgetTrackingError(const ExperimentResult &result);
 
+/**
+ * One detected budget drop and the policy's transient response to it
+ * (the paper's re-convergence experiments behind Figs. 7/8). A
+ * maximal run of consecutive epoch-over-epoch decreases counts as a
+ * single drop, so a downward ramp — or the descending half of a
+ * sinusoid — is one transient, not one per epoch.
+ */
+struct BudgetTransient
+{
+    int epoch = 0;       //!< first epoch of the descent
+    Watts before = 0.0;  //!< budget just before the descent
+    Watts after = 0.0;   //!< budget at the bottom of the descent
+    /**
+     * Epochs from the bottom of the descent until epoch power enters
+     * the tolerance band (power <= budget * (1 + tol)) and stays
+     * there until the next budget change or the run's end. 0 means
+     * the policy never overshot; -1 means it never settled.
+     */
+    int settlingEpochs = 0;
+    /**
+     * Energy above the instantaneous budget from the start of the
+     * descent until settled (or the window's end when unsettled).
+     */
+    Joules overshootEnergy = 0.0;
+};
+
+/** Transient response of a whole run under a budget schedule. */
+struct TransientSummary
+{
+    std::vector<BudgetTransient> drops;
+    /** Worst settlingEpochs over drops (-1 dominates everything). */
+    int worstSettlingEpochs = 0;
+    /** Total energy above the instantaneous budget, whole run. */
+    Joules overshootEnergy = 0.0;
+    /** Fraction of epochs above budget * (1 + tolerance). */
+    double violationRate = 0.0;
+};
+
+/**
+ * Detect budget drops in a run's epoch records and measure settling
+ * time, overshoot energy and the violation rate against the
+ * *instantaneous* per-epoch budget. `tolerance` is the relative band
+ * an epoch may sit above the budget and still count as settled
+ * (sampling noise; default 2%). Requires per-epoch durations (any
+ * ExperimentRunner result has them).
+ */
+TransientSummary analyzeTransients(const ExperimentResult &result,
+                                   double tolerance = 0.02);
+
 } // namespace fastcap
 
 #endif // FASTCAP_HARNESS_METRICS_HPP

@@ -109,6 +109,19 @@ SweepGrid::validate() const
     for (double b : budgetFractions)
         if (b <= 0.0 || b > 1.0)
             fatal("SweepGrid: budget fraction %g not in (0, 1]", b);
+    // Scenario problems fail fast here rather than mid-sweep on a
+    // worker thread, mirroring the workload/policy name checks.
+    for (const Scenario &sc : scenarios) {
+        if (sc.name.empty())
+            fatal("SweepGrid: scenarios need non-empty names");
+        for (const WorkloadEvent &ev : sc.workload.events())
+            for (const SweepConfig &c : configs)
+                if (ev.core >= c.sim.numCores)
+                    fatal("SweepGrid: scenario '%s' event at t=%g "
+                          "targets core %d but config '%s' has %d "
+                          "cores", sc.name.c_str(), ev.time, ev.core,
+                          c.name.c_str(), c.sim.numCores);
+    }
     // Unknown workload/policy names fail fast here rather than
     // mid-sweep on a worker thread.
     for (const std::string &w : workloads)
@@ -132,13 +145,57 @@ SweepGrid::validate() const
     for (const SweepConfig &c : configs)
         config_names.push_back(c.name);
     rejectDuplicates(config_names, "config name");
+    std::vector<std::string> scenario_names;
+    for (const Scenario &sc : scenarios)
+        scenario_names.push_back(sc.name);
+    rejectDuplicates(scenario_names, "scenario name");
+}
+
+const std::string &
+SweepGrid::scenarioName(std::size_t idx) const
+{
+    static const std::string constant = "constant";
+    if (scenarios.empty()) {
+        if (idx != 0)
+            panic("SweepGrid::scenarioName: index %zu without a "
+                  "scenario axis", idx);
+        return constant;
+    }
+    if (idx >= scenarios.size())
+        panic("SweepGrid::scenarioName: index %zu out of range", idx);
+    return scenarios[idx].name;
 }
 
 std::size_t
 SweepGrid::runCount() const
 {
-    return configs.size() * workloads.size() * policies.size() *
-        budgetFractions.size() * static_cast<std::size_t>(replicates);
+    return configs.size() * workloads.size() * scenarioCount() *
+        policies.size() * budgetFractions.size() *
+        static_cast<std::size_t>(replicates);
+}
+
+std::size_t
+SweepGrid::runIndexOf(std::size_t config_idx, std::size_t workload_idx,
+                      std::size_t scenario_idx, std::size_t policy_idx,
+                      std::size_t budget_idx, int replicate) const
+{
+    if (config_idx >= configs.size() ||
+        workload_idx >= workloads.size() ||
+        scenario_idx >= scenarioCount() ||
+        policy_idx >= policies.size() ||
+        budget_idx >= budgetFractions.size() || replicate < 0 ||
+        replicate >= replicates)
+        panic("SweepGrid::runIndexOf: coordinates out of range");
+    const auto reps = static_cast<std::size_t>(replicates);
+    return ((((config_idx * workloads.size() + workload_idx) *
+                  scenarioCount() +
+              scenario_idx) *
+                 policies.size() +
+             policy_idx) *
+                budgetFractions.size() +
+            budget_idx) *
+        reps +
+        static_cast<std::size_t>(replicate);
 }
 
 std::size_t
@@ -146,20 +203,8 @@ SweepGrid::runIndexOf(std::size_t config_idx, std::size_t workload_idx,
                       std::size_t policy_idx, std::size_t budget_idx,
                       int replicate) const
 {
-    if (config_idx >= configs.size() ||
-        workload_idx >= workloads.size() ||
-        policy_idx >= policies.size() ||
-        budget_idx >= budgetFractions.size() || replicate < 0 ||
-        replicate >= replicates)
-        panic("SweepGrid::runIndexOf: coordinates out of range");
-    const auto reps = static_cast<std::size_t>(replicates);
-    return (((config_idx * workloads.size() + workload_idx) *
-                 policies.size() +
-             policy_idx) *
-                budgetFractions.size() +
-            budget_idx) *
-        reps +
-        static_cast<std::size_t>(replicate);
+    return runIndexOf(config_idx, workload_idx, 0, policy_idx,
+                      budget_idx, replicate);
 }
 
 SweepPoint
@@ -179,21 +224,29 @@ SweepGrid::point(std::size_t run_index) const
     rest /= budgetFractions.size();
     p.policyIdx = rest % policies.size();
     rest /= policies.size();
+    p.scenarioIdx = rest % scenarioCount();
+    rest /= scenarioCount();
     p.workloadIdx = rest % workloads.size();
     rest /= workloads.size();
     p.configIdx = rest;
 
     p.config = configs[p.configIdx].name;
     p.workload = workloads[p.workloadIdx];
+    p.scenario = scenarioName(p.scenarioIdx);
     p.policy = policies[p.policyIdx];
     p.budgetFraction = budgetFractions[p.budgetIdx];
     if (pairSeedsAcrossPolicies) {
-        // Scenario index: collapse the policy and budget axes so
-        // paired runs draw the identical random trace.
-        const std::size_t scenario =
-            (p.configIdx * workloads.size() + p.workloadIdx) * reps +
+        // Trace index: collapse the policy and budget axes so paired
+        // runs draw the identical random trace. With no scenario
+        // axis this reduces to the historical (config, workload,
+        // replicate) index, keeping old seeds bit-identical.
+        const std::size_t trace =
+            ((p.configIdx * workloads.size() + p.workloadIdx) *
+                 scenarioCount() +
+             p.scenarioIdx) *
+                reps +
             static_cast<std::size_t>(p.replicate);
-        p.seed = splitmix64(baseSeed, scenario);
+        p.seed = splitmix64(baseSeed, trace);
     } else {
         p.seed = splitmix64(baseSeed, run_index);
     }
@@ -208,6 +261,21 @@ SweepGrid::workloadIndex(const std::string &name) const
     if (it == workloads.end())
         fatal("SweepGrid: workload '%s' not in grid", name.c_str());
     return static_cast<std::size_t>(it - workloads.begin());
+}
+
+std::size_t
+SweepGrid::scenarioIndex(const std::string &name) const
+{
+    if (scenarios.empty()) {
+        if (name == "constant")
+            return 0;
+        fatal("SweepGrid: scenario '%s' not in grid (no scenario "
+              "axis)", name.c_str());
+    }
+    for (std::size_t i = 0; i < scenarios.size(); ++i)
+        if (scenarios[i].name == name)
+            return i;
+    fatal("SweepGrid: scenario '%s' not in grid", name.c_str());
 }
 
 std::size_t
@@ -236,41 +304,69 @@ SweepResult::at(std::size_t config_idx, std::size_t workload_idx,
                               budget_idx, replicate));
 }
 
+const SweepRun &
+SweepResult::at(std::size_t config_idx, std::size_t workload_idx,
+                std::size_t scenario_idx, std::size_t policy_idx,
+                std::size_t budget_idx, int replicate) const
+{
+    return at(grid.runIndexOf(config_idx, workload_idx, scenario_idx,
+                              policy_idx, budget_idx, replicate));
+}
+
 void
 SweepResult::writeCsv(std::FILE *out) const
 {
+    // The scenario column appears only when the grid declares the
+    // axis: constant-scenario output stays byte-identical to the
+    // pre-scenario format.
+    const bool with_scenario = grid.hasScenarioAxis();
     CsvWriter csv(out);
-    csv.header({"run", "config", "workload", "policy", "budget",
-                "replicate", "seed", "epochs", "all_completed",
-                "peak_w", "budget_w", "avg_power_w", "avg_power_frac",
-                "max_epoch_frac", "makespan_s", "mean_tpi_ns"});
+    std::vector<std::string> header{
+        "run", "config", "workload", "policy", "budget",
+        "replicate", "seed", "epochs", "all_completed",
+        "peak_w", "budget_w", "avg_power_w", "avg_power_frac",
+        "max_epoch_frac", "makespan_s", "mean_tpi_ns"};
+    if (with_scenario)
+        header.insert(header.begin() + 3, "scenario");
+    csv.header(header);
     for (const SweepRun &r : runs) {
         const ExperimentResult &res = r.result;
-        csv.row({std::to_string(r.point.runIndex), r.point.config,
-                 r.point.workload, r.point.policy,
-                 fmt(r.point.budgetFraction),
-                 std::to_string(r.point.replicate),
-                 fmtSeed(r.point.seed),
-                 std::to_string(res.epochs.size()),
-                 res.allCompleted() ? "1" : "0", fmt(res.peakPower),
-                 fmt(res.budget), fmt(res.averagePower()),
-                 fmt(res.averagePowerFraction()),
-                 fmt(res.maxEpochPowerFraction()),
-                 fmt(res.makespan()), fmt(meanTpi(res) * 1e9)});
+        std::vector<std::string> row{
+            std::to_string(r.point.runIndex), r.point.config,
+            r.point.workload, r.point.policy,
+            fmt(r.point.budgetFraction),
+            std::to_string(r.point.replicate),
+            fmtSeed(r.point.seed),
+            std::to_string(res.epochs.size()),
+            res.allCompleted() ? "1" : "0", fmt(res.peakPower),
+            fmt(res.budget), fmt(res.averagePower()),
+            fmt(res.averagePowerFraction()),
+            fmt(res.maxEpochPowerFraction()),
+            fmt(res.makespan()), fmt(meanTpi(res) * 1e9)};
+        if (with_scenario)
+            row.insert(row.begin() + 3, r.point.scenario);
+        csv.row(row);
     }
 }
 
 void
 SweepResult::writeJson(std::FILE *out) const
 {
+    const bool with_scenario = grid.hasScenarioAxis();
     std::fprintf(out, "[\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const SweepRun &r = runs[i];
         const ExperimentResult &res = r.result;
+        // Scenario field mirrors the CSV: present only when the grid
+        // declares the axis, keeping constant-grid JSON unchanged.
+        std::string scenario_field;
+        if (with_scenario)
+            scenario_field = "\"scenario\": \"" +
+                jsonEscape(r.point.scenario) + "\", ";
         std::fprintf(
             out,
             "  {\"run\": %zu, \"config\": \"%s\", "
-            "\"workload\": \"%s\", \"policy\": \"%s\", "
+            "\"workload\": \"%s\", %s\"policy\": \"%s\", "
             "\"budget\": %s, \"replicate\": %d, \"seed\": \"%s\", "
             "\"epochs\": %zu, \"all_completed\": %s, "
             "\"peak_w\": %s, \"budget_w\": %s, \"avg_power_w\": %s, "
@@ -278,6 +374,7 @@ SweepResult::writeJson(std::FILE *out) const
             "\"makespan_s\": %s, \"mean_tpi_ns\": %s}%s\n",
             r.point.runIndex, jsonEscape(r.point.config).c_str(),
             jsonEscape(r.point.workload).c_str(),
+            scenario_field.c_str(),
             jsonEscape(r.point.policy).c_str(),
             fmt(r.point.budgetFraction).c_str(), r.point.replicate,
             fmtSeed(r.point.seed).c_str(), res.epochs.size(),
@@ -333,6 +430,8 @@ SweepRunner::runOne(const SweepGrid &grid, std::size_t run_index)
     ecfg.budgetFraction = run.point.budgetFraction;
     ecfg.targetInstructions = grid.targetInstructions;
     ecfg.maxEpochs = grid.maxEpochs;
+    if (grid.hasScenarioAxis())
+        ecfg.scenario = grid.scenarios[run.point.scenarioIdx];
 
     run.result =
         runWorkload(run.point.workload, run.point.policy, ecfg, sim);

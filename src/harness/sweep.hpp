@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "scenario/scenario.hpp"
 #include "sim/config.hpp"
 
 namespace fastcap {
@@ -40,17 +41,19 @@ struct SweepPoint
     std::size_t runIndex = 0;
     std::size_t configIdx = 0;
     std::size_t workloadIdx = 0;
+    std::size_t scenarioIdx = 0;
     std::size_t policyIdx = 0;
     std::size_t budgetIdx = 0;
     int replicate = 0;
     std::string config;
     std::string workload;
+    std::string scenario; //!< "constant" when the grid has no axis
     std::string policy;
     double budgetFraction = 0.0;
     /**
      * Simulation seed: splitmix64(grid.baseSeed, runIndex), or — with
-     * grid.pairSeedsAcrossPolicies — splitmix64 of the scenario index
-     * (config, workload, replicate only).
+     * grid.pairSeedsAcrossPolicies — splitmix64 of the trace index
+     * (config, workload, scenario, replicate only).
      */
     std::uint64_t seed = 0;
 };
@@ -59,13 +62,18 @@ struct SweepPoint
  * Declarative cross-product of experiment coordinates.
  *
  * Run order (and therefore run index) is row-major over
- * configs > workloads > policies > budgetFractions > replicates,
- * with replicates innermost.
+ * configs > workloads > scenarios > policies > budgetFractions >
+ * replicates, with replicates innermost. An empty `scenarios` vector
+ * means a single implicit constant scenario: run indices, seeds and
+ * emitted CSV/JSON are then byte-identical to a grid without the
+ * scenario axis.
  */
 struct SweepGrid
 {
     std::vector<SweepConfig> configs;
     std::vector<std::string> workloads;
+    /** Time-varying scenarios; empty = one implicit constant one. */
+    std::vector<Scenario> scenarios;
     std::vector<std::string> policies;
     std::vector<double> budgetFractions;
     /** Seed dimension: repeats every point with a fresh derived seed. */
@@ -76,12 +84,12 @@ struct SweepGrid
     int maxEpochs = 2000;
     std::uint64_t baseSeed = 0x5eedf00dULL;
     /**
-     * Derive seeds from the scenario (config, workload, replicate)
-     * instead of the full run index, so runs differing only in
-     * policy or budget share one seed and see the same random trace.
-     * Required for paired comparisons (normalized CPI against an
-     * Uncapped baseline); either mode is deterministic for any
-     * worker count.
+     * Derive seeds from the trace coordinates (config, workload,
+     * scenario, replicate) instead of the full run index, so runs
+     * differing only in policy or budget share one seed and see the
+     * same random trace. Required for paired comparisons (normalized
+     * CPI against an Uncapped baseline); either mode is deterministic
+     * for any worker count.
      */
     bool pairSeedsAcrossPolicies = false;
 
@@ -92,6 +100,17 @@ struct SweepGrid
     /** fatal() on empty dimensions or invalid knobs. */
     void validate() const;
 
+    /** True when the grid declares explicit scenarios. */
+    bool hasScenarioAxis() const { return !scenarios.empty(); }
+    /** Axis length including the implicit constant scenario. */
+    std::size_t
+    scenarioCount() const
+    {
+        return scenarios.empty() ? 1 : scenarios.size();
+    }
+    /** Name of a scenario index ("constant" when implicit). */
+    const std::string &scenarioName(std::size_t idx) const;
+
     std::size_t runCount() const;
 
     /** Decode a run index into its coordinates (with derived seed). */
@@ -100,11 +119,19 @@ struct SweepGrid
     /** Inverse of point(): coordinates to run index. */
     std::size_t runIndexOf(std::size_t config_idx,
                            std::size_t workload_idx,
+                           std::size_t scenario_idx,
+                           std::size_t policy_idx,
+                           std::size_t budget_idx, int replicate) const;
+    /** Shorthand for grids without a scenario axis (scenario 0). */
+    std::size_t runIndexOf(std::size_t config_idx,
+                           std::size_t workload_idx,
                            std::size_t policy_idx,
                            std::size_t budget_idx, int replicate) const;
 
     /** Index of a workload name; fatal() if absent. */
     std::size_t workloadIndex(const std::string &name) const;
+    /** Index of a scenario name; fatal() if absent. */
+    std::size_t scenarioIndex(const std::string &name) const;
     /** Index of a policy name; fatal() if absent. */
     std::size_t policyIndex(const std::string &name) const;
 };
@@ -131,11 +158,18 @@ struct SweepResult
     const SweepRun &at(std::size_t config_idx, std::size_t workload_idx,
                        std::size_t policy_idx, std::size_t budget_idx,
                        int replicate = 0) const;
+    /** Scenario-axis access (scenario between workload and policy). */
+    const SweepRun &at(std::size_t config_idx, std::size_t workload_idx,
+                       std::size_t scenario_idx,
+                       std::size_t policy_idx, std::size_t budget_idx,
+                       int replicate) const;
 
     /**
      * One summary row per run: coordinates, seed, and the power /
      * completion metrics the figures consume. Deterministic given the
-     * grid (no timing fields).
+     * grid (no timing fields). Grids with an explicit scenario axis
+     * gain a `scenario` column after `workload`; without one, the
+     * format is unchanged from scenario-less builds.
      */
     void writeCsv(std::FILE *out) const;
     /** Same rows as JSON (an array of run objects). */

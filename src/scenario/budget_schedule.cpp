@@ -1,0 +1,259 @@
+#include "scenario/budget_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fastcap {
+
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+
+/** Strict finite-double parse; fatal() with context otherwise. */
+double
+parseNumber(const std::string &s, const char *what,
+            const std::string &spec)
+{
+    double v = 0.0;
+    if (!parseDouble(s, v))
+        fatal("BudgetSchedule: bad %s '%s' in '%s'", what, s.c_str(),
+              spec.c_str());
+    return v;
+}
+
+/** Budget fractions must land in (0, 1] wherever a segment can go. */
+void
+checkFraction(double v, const char *what)
+{
+    if (!(v > 0.0) || v > 1.0)
+        fatal("BudgetSchedule: %s %g out of range (0, 1]", what, v);
+}
+
+} // namespace
+
+void
+BudgetSchedule::append(BudgetSegment seg)
+{
+    if (!std::isfinite(seg.start) || seg.start < 0.0)
+        fatal("BudgetSchedule: segment start time %g must be finite "
+              "and non-negative", seg.start);
+    if (!_segments.empty() && seg.start <= _segments.back().start)
+        fatal("BudgetSchedule: segment at t=%g does not come after "
+              "the previous segment at t=%g (starts must be strictly "
+              "increasing)", seg.start, _segments.back().start);
+    _segments.push_back(seg);
+}
+
+void
+BudgetSchedule::addStep(Seconds start, double level)
+{
+    checkFraction(level, "step level");
+    BudgetSegment seg;
+    seg.kind = BudgetSegmentKind::Step;
+    seg.start = start;
+    seg.level = level;
+    append(seg);
+}
+
+void
+BudgetSchedule::addRamp(Seconds start, double from, double to,
+                        Seconds duration)
+{
+    checkFraction(from, "ramp start fraction");
+    checkFraction(to, "ramp end fraction");
+    if (!std::isfinite(duration) || duration <= 0.0)
+        fatal("BudgetSchedule: ramp duration %g must be finite and "
+              "positive", duration);
+    BudgetSegment seg;
+    seg.kind = BudgetSegmentKind::Ramp;
+    seg.start = start;
+    seg.from = from;
+    seg.to = to;
+    seg.duration = duration;
+    append(seg);
+}
+
+void
+BudgetSchedule::addSine(Seconds start, double mean, double amplitude,
+                        Seconds period)
+{
+    if (amplitude < 0.0)
+        fatal("BudgetSchedule: sine amplitude %g is negative",
+              amplitude);
+    // The extremes are what the schedule can actually emit.
+    checkFraction(mean - amplitude, "sine trough (mean - amplitude)");
+    checkFraction(mean + amplitude, "sine crest (mean + amplitude)");
+    if (!std::isfinite(period) || period <= 0.0)
+        fatal("BudgetSchedule: sine period %g must be finite and "
+              "positive", period);
+    BudgetSegment seg;
+    seg.kind = BudgetSegmentKind::Sine;
+    seg.start = start;
+    seg.mean = mean;
+    seg.amplitude = amplitude;
+    seg.period = period;
+    append(seg);
+}
+
+void
+BudgetSchedule::addTrace(const std::string &path, Seconds offset)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("BudgetSchedule: cannot open trace '%s'", path.c_str());
+    std::string line;
+    int lineno = 0;
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trimmed(line);
+        if (line.empty())
+            continue;
+        const auto comma = line.find(',');
+        if (comma == std::string::npos)
+            fatal("%s:%d: expected 'time,fraction'", path.c_str(),
+                  lineno);
+        const std::string t_str = trimmed(line.substr(0, comma));
+        const std::string f_str = trimmed(line.substr(comma + 1));
+        // Tolerate one header row ("time,fraction" or similar) ahead
+        // of the data, wherever comments/blank lines put it. Only a
+        // row with *both* cells non-numeric qualifies, so a data row
+        // with one bad cell still fails loudly below.
+        double ignored = 0.0;
+        if (rows == 0 && !parseDouble(t_str, ignored) &&
+            !parseDouble(f_str, ignored))
+            continue;
+        const double t = parseNumber(t_str, "trace time", path);
+        const double f = parseNumber(f_str, "trace fraction", path);
+        addStep(offset + t, f);
+        ++rows;
+    }
+    if (rows == 0)
+        fatal("BudgetSchedule: trace '%s' holds no rows",
+              path.c_str());
+}
+
+double
+BudgetSchedule::fractionAt(Seconds t, double fallback) const
+{
+    // Last segment with start <= t (segments are sorted).
+    const auto it = std::upper_bound(
+        _segments.begin(), _segments.end(), t,
+        [](Seconds v, const BudgetSegment &s) { return v < s.start; });
+    if (it == _segments.begin())
+        return fallback;
+    const BudgetSegment &seg = *(it - 1);
+    switch (seg.kind) {
+    case BudgetSegmentKind::Step:
+        return seg.level;
+    case BudgetSegmentKind::Ramp: {
+        const Seconds dt = t - seg.start;
+        if (dt >= seg.duration)
+            return seg.to;
+        return seg.from + (seg.to - seg.from) * dt / seg.duration;
+    }
+    case BudgetSegmentKind::Sine:
+        return seg.mean +
+            seg.amplitude *
+            std::sin(kTwoPi * (t - seg.start) / seg.period);
+    }
+    panic("BudgetSchedule: unknown segment kind");
+}
+
+BudgetSchedule
+BudgetSchedule::parse(const std::string &spec)
+{
+    BudgetSchedule sched;
+    const std::string whole = trimmed(spec);
+    if (whole.empty() || whole == "constant")
+        return sched;
+
+    std::stringstream ss(whole);
+    std::string part;
+    while (std::getline(ss, part, ';')) {
+        part = trimmed(part);
+        if (part.empty())
+            fatal("BudgetSchedule: empty segment in '%s'",
+                  spec.c_str());
+        const auto at = part.find('@');
+        const auto colon = part.find(':', at == std::string::npos
+                                               ? 0
+                                               : at + 1);
+        if (at == std::string::npos || colon == std::string::npos)
+            fatal("BudgetSchedule: segment '%s' is not of the form "
+                  "kind@time:params", part.c_str());
+        const std::string kind = trimmed(part.substr(0, at));
+        const Seconds start = parseNumber(
+            trimmed(part.substr(at + 1, colon - at - 1)),
+            "segment start time", spec);
+        const std::string params = trimmed(part.substr(colon + 1));
+
+        if (kind == "step") {
+            sched.addStep(start,
+                          parseNumber(params, "step level", spec));
+        } else if (kind == "ramp") {
+            // FROM->TO/DUR
+            const auto arrow = params.find("->");
+            const auto slash = params.find('/',
+                                           arrow == std::string::npos
+                                               ? 0
+                                               : arrow + 2);
+            if (arrow == std::string::npos ||
+                slash == std::string::npos)
+                fatal("BudgetSchedule: ramp params '%s' are not of "
+                      "the form FROM->TO/DURATION", params.c_str());
+            sched.addRamp(
+                start,
+                parseNumber(trimmed(params.substr(0, arrow)),
+                            "ramp start fraction", spec),
+                parseNumber(
+                    trimmed(params.substr(arrow + 2,
+                                          slash - arrow - 2)),
+                    "ramp end fraction", spec),
+                parseNumber(trimmed(params.substr(slash + 1)),
+                            "ramp duration", spec));
+        } else if (kind == "sine") {
+            // MEAN~AMP/PERIOD
+            const auto tilde = params.find('~');
+            const auto slash = params.find('/',
+                                           tilde == std::string::npos
+                                               ? 0
+                                               : tilde + 1);
+            if (tilde == std::string::npos ||
+                slash == std::string::npos)
+                fatal("BudgetSchedule: sine params '%s' are not of "
+                      "the form MEAN~AMPLITUDE/PERIOD",
+                      params.c_str());
+            sched.addSine(
+                start,
+                parseNumber(trimmed(params.substr(0, tilde)),
+                            "sine mean", spec),
+                parseNumber(
+                    trimmed(params.substr(tilde + 1,
+                                          slash - tilde - 1)),
+                    "sine amplitude", spec),
+                parseNumber(trimmed(params.substr(slash + 1)),
+                            "sine period", spec));
+        } else if (kind == "trace") {
+            if (params.empty())
+                fatal("BudgetSchedule: trace segment needs a path");
+            sched.addTrace(params, start);
+        } else {
+            fatal("BudgetSchedule: unknown segment kind '%s' "
+                  "(expected step, ramp, sine or trace)",
+                  kind.c_str());
+        }
+    }
+    return sched;
+}
+
+} // namespace fastcap

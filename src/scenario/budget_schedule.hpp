@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Time-varying power-budget schedules.
+ *
+ * The paper's transient experiments (Figs. 7/8 and the re-convergence
+ * discussion in Section V) change the budget at runtime and watch how
+ * quickly FastCap settles onto the new cap. A BudgetSchedule describes
+ * the budget fraction B(t) as a sequence of segments — steps, linear
+ * ramps, sinusoids, or a CSV trace — that the experiment harness
+ * samples at every epoch boundary.
+ *
+ * An empty schedule means "constant": the experiment keeps its static
+ * budget fraction, and every code path is bit-identical to a
+ * schedule-less run.
+ */
+
+#ifndef FASTCAP_SCENARIO_BUDGET_SCHEDULE_HPP
+#define FASTCAP_SCENARIO_BUDGET_SCHEDULE_HPP
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** Segment shapes a schedule is built from. */
+enum class BudgetSegmentKind : std::uint8_t {
+    Step, //!< constant level from its start time on
+    Ramp, //!< linear from -> to over duration, then holds `to`
+    Sine, //!< mean + amplitude * sin(2*pi*(t - start)/period)
+};
+
+/**
+ * One schedule segment. A segment is active from its start time until
+ * the next segment's start (or the end of the run); only the fields
+ * of its kind are meaningful.
+ */
+struct BudgetSegment
+{
+    BudgetSegmentKind kind = BudgetSegmentKind::Step;
+    Seconds start = 0.0;
+    // Step
+    double level = 0.0;
+    // Ramp
+    double from = 0.0;
+    double to = 0.0;
+    Seconds duration = 0.0;
+    // Sine
+    double mean = 0.0;
+    double amplitude = 0.0;
+    Seconds period = 0.0;
+};
+
+/**
+ * Piecewise budget-fraction function of virtual time.
+ *
+ * Segments are kept sorted by strictly increasing start time; every
+ * value a segment can produce is validated into (0, 1] at insertion,
+ * so fractionAt() never returns an unusable budget.
+ */
+class BudgetSchedule
+{
+  public:
+    BudgetSchedule() = default;
+
+    /**
+     * Parse a schedule spec: `segment(;segment)*` with
+     *
+     *   step@T:LEVEL            budget steps to LEVEL at time T
+     *   ramp@T:FROM->TO/DUR     linear ramp over DUR seconds
+     *   sine@T:MEAN~AMP/PERIOD  sinusoid around MEAN
+     *   trace@T:PATH            CSV rows "time,fraction", shifted by T
+     *
+     * e.g. "step@0:0.9;step@0.05:0.5". The literal "constant" (or an
+     * empty string) yields an empty schedule. fatal() with a clear
+     * message on malformed input.
+     */
+    static BudgetSchedule parse(const std::string &spec);
+
+    /** Append a step segment; fatal() on invalid values. */
+    void addStep(Seconds start, double level);
+    /** Append a ramp segment; fatal() on invalid values. */
+    void addRamp(Seconds start, double from, double to,
+                 Seconds duration);
+    /** Append a sinusoid segment; fatal() on invalid values. */
+    void addSine(Seconds start, double mean, double amplitude,
+                 Seconds period);
+    /**
+     * Append a CSV budget trace (rows `time,fraction`, `#` comments,
+     * optional header) as step segments, times shifted by `offset`.
+     */
+    void addTrace(const std::string &path, Seconds offset = 0.0);
+
+    /** True when the schedule imposes nothing (constant budget). */
+    bool empty() const { return _segments.empty(); }
+    std::size_t size() const { return _segments.size(); }
+    const std::vector<BudgetSegment> &segments() const
+    {
+        return _segments;
+    }
+
+    /**
+     * Budget fraction at virtual time t. Before the first segment (or
+     * for an empty schedule) the caller's static `fallback` fraction
+     * applies unchanged.
+     */
+    double fractionAt(Seconds t, double fallback) const;
+
+  private:
+    void append(BudgetSegment seg);
+
+    std::vector<BudgetSegment> _segments;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SCENARIO_BUDGET_SCHEDULE_HPP

@@ -1,0 +1,121 @@
+#include "scenario/workload_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+
+namespace {
+
+/**
+ * A core with no job: near-zero activity, essentially no memory
+ * traffic, and a long compute phase so the "idle loop" retires
+ * instructions slowly without touching the memory subsystem.
+ */
+const AppProfile &
+idleProfile()
+{
+    static const AppProfile idle = [] {
+        Phase p;
+        p.instructions = 10e6;
+        p.cpiExec = 1.0;
+        p.mpki = 0.005; // one miss per 200k instructions
+        p.wpki = 0.0;
+        p.activity = 0.05;
+        return AppProfile("idle", p);
+    }();
+    return idle;
+}
+
+} // namespace
+
+const AppProfile &
+WorkloadSchedule::resolve(const std::string &app)
+{
+    if (app == "idle")
+        return idleProfile();
+    return workloads::spec(app); // fatal() on unknown names
+}
+
+void
+WorkloadSchedule::add(Seconds time, int core, const std::string &app)
+{
+    if (!std::isfinite(time) || time < 0.0)
+        fatal("WorkloadSchedule: event time %g must be finite and "
+              "non-negative", time);
+    if (core < 0)
+        fatal("WorkloadSchedule: core index %d is negative", core);
+    if (app.empty())
+        fatal("WorkloadSchedule: empty application name");
+    resolve(app); // unknown names fail here, not mid-run
+
+    WorkloadEvent ev;
+    ev.time = time;
+    ev.core = core;
+    ev.app = app;
+    // Keep sorted by time; stable so same-time events apply in
+    // insertion order.
+    const auto it = std::upper_bound(
+        _events.begin(), _events.end(), ev,
+        [](const WorkloadEvent &a, const WorkloadEvent &b) {
+            return a.time < b.time;
+        });
+    _events.insert(it, std::move(ev));
+}
+
+WorkloadSchedule
+WorkloadSchedule::parse(const std::string &spec)
+{
+    WorkloadSchedule sched;
+    const std::string whole = trimmed(spec);
+    if (whole.empty())
+        return sched;
+
+    std::stringstream ss(whole);
+    std::string part;
+    while (std::getline(ss, part, ';')) {
+        part = trimmed(part);
+        if (part.empty())
+            fatal("WorkloadSchedule: empty event in '%s'",
+                  spec.c_str());
+        const auto c1 = part.find(':');
+        const auto c2 = c1 == std::string::npos
+                            ? std::string::npos
+                            : part.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            fatal("WorkloadSchedule: event '%s' is not of the form "
+                  "TIME:CORE:APP", part.c_str());
+
+        const std::string t_str = trimmed(part.substr(0, c1));
+        const std::string core_str =
+            trimmed(part.substr(c1 + 1, c2 - c1 - 1));
+        const std::string app = trimmed(part.substr(c2 + 1));
+
+        double t = 0.0;
+        if (!parseDouble(t_str, t))
+            fatal("WorkloadSchedule: bad event time '%s' in '%s'",
+                  t_str.c_str(), spec.c_str());
+        char *end = nullptr;
+        const long core = std::strtol(core_str.c_str(), &end, 10);
+        // Range check before narrowing: an overflowing index must
+        // fail here, not wrap onto a valid core.
+        if (core_str.empty() || end == core_str.c_str() ||
+            *end != '\0' ||
+            core > std::numeric_limits<int>::max() ||
+            core < std::numeric_limits<int>::min())
+            fatal("WorkloadSchedule: bad core index '%s' in '%s'",
+                  core_str.c_str(), spec.c_str());
+
+        sched.add(t, static_cast<int>(core), app);
+    }
+    return sched;
+}
+
+} // namespace fastcap

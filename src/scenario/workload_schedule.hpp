@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Dynamic-workload schedules: job arrivals and departures.
+ *
+ * The paper's evaluation binds one application per core for a whole
+ * run. Real deployments are not that static — jobs finish, new jobs
+ * land, and cores fall idle — and the capping policy must keep the
+ * budget met while the mix shifts under it. A WorkloadSchedule is a
+ * time-ordered list of events, each rebinding one core to a different
+ * application profile (or to the built-in near-zero "idle" profile).
+ * The experiment harness applies due events at epoch boundaries.
+ */
+
+#ifndef FASTCAP_SCENARIO_WORKLOAD_SCHEDULE_HPP
+#define FASTCAP_SCENARIO_WORKLOAD_SCHEDULE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/app_profile.hpp"
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/** One rebinding: core starts running `app` at `time`. */
+struct WorkloadEvent
+{
+    Seconds time = 0.0;
+    int core = -1;
+    std::string app; //!< Table III application name, or "idle"
+};
+
+/**
+ * Time-ordered application swap events.
+ *
+ * App names are resolved against the SPEC-like profile table at
+ * insertion, so unknown names fail at schedule construction — not
+ * mid-run on a sweep worker.
+ */
+class WorkloadSchedule
+{
+  public:
+    WorkloadSchedule() = default;
+
+    /**
+     * Parse `TIME:CORE:APP(;TIME:CORE:APP)*`, e.g.
+     * "0.05:3:idle;0.1:3:milc". The empty string yields an empty
+     * schedule. fatal() with a clear message on malformed input.
+     */
+    static WorkloadSchedule parse(const std::string &spec);
+
+    /** Append an event; fatal() on bad time/core/app. */
+    void add(Seconds time, int core, const std::string &app);
+
+    bool empty() const { return _events.empty(); }
+    std::size_t size() const { return _events.size(); }
+    /** Events sorted by time (stable for equal times). */
+    const std::vector<WorkloadEvent> &events() const
+    {
+        return _events;
+    }
+
+    /**
+     * Profile for an event's app name: the named Table III profile,
+     * or the built-in idle profile for "idle". fatal() if unknown.
+     */
+    static const AppProfile &resolve(const std::string &app);
+
+  private:
+    std::vector<WorkloadEvent> _events;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SCENARIO_WORKLOAD_SCHEDULE_HPP

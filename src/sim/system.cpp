@@ -92,6 +92,15 @@ ManyCoreSystem::appOf(int core) const
     return _apps.at(static_cast<std::size_t>(core));
 }
 
+void
+ManyCoreSystem::swapApp(int core, AppProfile app)
+{
+    // Cores hold a stable pointer into _apps (the vector is never
+    // resized after construction), so assigning the slot is all a
+    // rebind takes: the next scheduled think reads the new phases.
+    _apps.at(static_cast<std::size_t>(core)) = std::move(app);
+}
+
 const std::vector<double> &
 ManyCoreSystem::accessProbabilities(int core) const
 {

@@ -101,6 +101,14 @@ class ManyCoreSystem
     /** The application bound to core i. */
     const AppProfile &appOf(int core) const;
 
+    /**
+     * Rebind core i to a different application mid-run (job
+     * arrival/departure in a dynamic-workload scenario). The core
+     * picks the new profile up at its next think event; its
+     * retired-instruction count is unaffected.
+     */
+    void swapApp(int core, AppProfile app);
+
     // --- DVFS actuation ----------------------------------------------
     void coreFreqIndex(int core, std::size_t idx);
     std::size_t coreFreqIndex(int core) const;

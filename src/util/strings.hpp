@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string helpers shared by the spec/schedule parsers.
+ */
+
+#ifndef FASTCAP_UTIL_STRINGS_HPP
+#define FASTCAP_UTIL_STRINGS_HPP
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace fastcap {
+
+/** Copy of `s` without leading/trailing spaces, tabs or CRs. */
+inline std::string
+trimmed(const std::string &s)
+{
+    const auto a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return std::string();
+    const auto b = s.find_last_not_of(" \t\r");
+    return s.substr(a, b - a + 1);
+}
+
+/**
+ * Strict full-string double parse into `out`. False on empty input,
+ * trailing junk, or non-finite values — schedule times and budget
+ * fractions must never be nan/inf (nan would defeat ordering checks
+ * and make binary searches over segments unspecified).
+ */
+inline bool
+parseDouble(const std::string &s, double &out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end == s.c_str() || *end != '\0' ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_STRINGS_HPP

@@ -1,0 +1,35 @@
+# Golden-file regression runner: execute fastcap_sweep on a committed
+# grid spec and byte-compare the CSV against the committed reference.
+#
+#   cmake -DSWEEP=<fastcap_sweep> -DSPEC=<grid.spec>
+#         -DGOLDEN=<reference.csv> -DOUT=<scratch.csv> -DTHREADS=<n>
+#         -P run_golden.cmake
+#
+# A mismatch means a change altered simulation results. If that is
+# intentional (a bugfix or a model change), regenerate the reference:
+#   fastcap_sweep --spec <grid.spec> --threads 1 --csv <reference.csv>
+# and call the change out in the PR description.
+
+foreach(var SWEEP SPEC GOLDEN OUT THREADS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SWEEP} --spec ${SPEC} --threads ${THREADS} --csv ${OUT}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fastcap_sweep failed (${rc}): ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "golden CSV mismatch: ${OUT} differs from ${GOLDEN}. If the "
+    "result change is intentional, regenerate the reference (see "
+    "tests/golden/run_golden.cmake) and justify it in the PR.")
+endif()

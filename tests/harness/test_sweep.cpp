@@ -132,6 +132,150 @@ TEST(SweepGrid, ReplicatesAreInnermost)
     EXPECT_NE(a.seed, b.seed);
 }
 
+std::string jsonString(const SweepResult &sw); // defined below
+
+/** Two-scenario axis: a budget drop and a sinusoid. */
+std::vector<Scenario>
+twoScenarios()
+{
+    Scenario drop;
+    drop.name = "drop";
+    drop.budget.addStep(0.0, 0.9);
+    drop.budget.addStep(0.01, 0.5);
+    Scenario wave;
+    wave.name = "wave";
+    wave.budget.addSine(0.0, 0.7, 0.1, 0.02);
+    return {drop, wave};
+}
+
+TEST(SweepGrid, ScenarioAxisEntersTheCrossProduct)
+{
+    SweepGrid grid = smallGrid();
+    ASSERT_EQ(grid.scenarioCount(), 1u);
+    EXPECT_FALSE(grid.hasScenarioAxis());
+    EXPECT_EQ(grid.scenarioName(0), "constant");
+
+    grid.scenarios = twoScenarios();
+    grid.replicates = 2;
+    ASSERT_EQ(grid.scenarioCount(), 2u);
+    ASSERT_EQ(grid.runCount(), 1u * 2u * 2u * 2u * 1u * 2u);
+
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < grid.runCount(); ++i) {
+        const SweepPoint p = grid.point(i);
+        EXPECT_EQ(p.runIndex, i);
+        EXPECT_EQ(grid.runIndexOf(p.configIdx, p.workloadIdx,
+                                  p.scenarioIdx, p.policyIdx,
+                                  p.budgetIdx, p.replicate),
+                  i);
+        EXPECT_EQ(p.scenario,
+                  grid.scenarios[p.scenarioIdx].name);
+        seen.insert(p.workload + "|" + p.scenario + "|" + p.policy +
+                    "|" + std::to_string(p.replicate));
+    }
+    EXPECT_EQ(seen.size(), grid.runCount());
+    // The scenario axis sits between workloads and policies.
+    EXPECT_EQ(grid.point(0).scenario, "drop");
+    const SweepPoint q =
+        grid.point(grid.runIndexOf(0, 0, 1, 0, 0, 0));
+    EXPECT_EQ(q.scenario, "wave");
+    EXPECT_EQ(q.workload, grid.point(0).workload);
+
+    EXPECT_EQ(grid.scenarioIndex("wave"), 1u);
+    EXPECT_THROW(grid.scenarioIndex("nope"), FatalError);
+    // Without an axis only "constant" resolves.
+    const SweepGrid plain = smallGrid();
+    EXPECT_EQ(plain.scenarioIndex("constant"), 0u);
+    EXPECT_THROW(plain.scenarioIndex("drop"), FatalError);
+}
+
+TEST(SweepGrid, WithoutScenarioAxisIndicesAndSeedsAreUnchanged)
+{
+    // The backward-compatibility contract: a grid that does not use
+    // the scenario axis enumerates and seeds exactly as before the
+    // axis existed.
+    SweepGrid grid = smallGrid();
+    grid.budgetFractions = {0.5, 0.7};
+    grid.replicates = 2;
+    const auto reps = static_cast<std::size_t>(grid.replicates);
+    for (std::size_t i = 0; i < grid.runCount(); ++i) {
+        const SweepPoint p = grid.point(i);
+        EXPECT_EQ((((p.configIdx * grid.workloads.size() +
+                     p.workloadIdx) *
+                        grid.policies.size() +
+                    p.policyIdx) *
+                       grid.budgetFractions.size() +
+                   p.budgetIdx) *
+                          reps +
+                      static_cast<std::size_t>(p.replicate),
+                  i);
+        EXPECT_EQ(p.seed, splitmix64(grid.baseSeed, i));
+        EXPECT_EQ(p.scenarioIdx, 0u);
+        EXPECT_EQ(p.scenario, "constant");
+    }
+
+    grid.pairSeedsAcrossPolicies = true;
+    for (std::size_t i = 0; i < grid.runCount(); ++i) {
+        const SweepPoint p = grid.point(i);
+        const std::size_t trace =
+            (p.configIdx * grid.workloads.size() + p.workloadIdx) *
+                reps +
+            static_cast<std::size_t>(p.replicate);
+        EXPECT_EQ(p.seed, splitmix64(grid.baseSeed, trace));
+    }
+}
+
+TEST(SweepGrid, PairedSeedsDistinguishScenarios)
+{
+    SweepGrid grid = smallGrid();
+    grid.scenarios = twoScenarios();
+    grid.pairSeedsAcrossPolicies = true;
+    // Same trace coordinates, different policy: same seed.
+    EXPECT_EQ(grid.point(grid.runIndexOf(0, 0, 0, 0, 0, 0)).seed,
+              grid.point(grid.runIndexOf(0, 0, 0, 1, 0, 0)).seed);
+    // Different scenario: different seed.
+    EXPECT_NE(grid.point(grid.runIndexOf(0, 0, 0, 0, 0, 0)).seed,
+              grid.point(grid.runIndexOf(0, 0, 1, 0, 0, 0)).seed);
+}
+
+TEST(SweepRunner, ScenarioGridsAreDeterministicAcrossWorkerCounts)
+{
+    SweepGrid grid = smallGrid();
+    grid.targetInstructions = 1e12; // horizon runs, never complete
+    grid.maxEpochs = 6;
+    grid.scenarios = twoScenarios();
+    const std::string csv1 = SweepRunner(grid, 1).run().csvString();
+    const std::string csv4 = SweepRunner(grid, 4).run().csvString();
+    EXPECT_FALSE(csv1.empty());
+    EXPECT_EQ(csv1, csv4);
+    // Scenario labels reach the CSV.
+    EXPECT_NE(csv1.find(",drop,"), std::string::npos);
+    EXPECT_NE(csv1.find(",wave,"), std::string::npos);
+}
+
+TEST(SweepResult, ScenarioColumnAppearsOnlyWithTheAxis)
+{
+    SweepGrid grid = smallGrid();
+    grid.workloads = {"ILP1"};
+    grid.policies = {"FastCap"};
+    const std::string plain = SweepRunner(grid, 1).run().csvString();
+    EXPECT_EQ(plain.find("scenario"), std::string::npos)
+        << "constant grids must keep the historical CSV header";
+
+    grid.scenarios = twoScenarios();
+    grid.targetInstructions = 1e12;
+    grid.maxEpochs = 4;
+    const SweepResult sw = SweepRunner(grid, 2).run();
+    const std::string csv = sw.csvString();
+    EXPECT_NE(csv.find("run,config,workload,scenario,policy"),
+              std::string::npos);
+    const std::string json = jsonString(sw);
+    EXPECT_NE(json.find("\"scenario\": \"drop\""),
+              std::string::npos);
+    // Scenario-axis coordinate access resolves to the right runs.
+    EXPECT_EQ(sw.at(0, 0, 1, 0, 0, 0).point.scenario, "wave");
+}
+
 TEST(SweepGrid, ValidationCatchesBadGrids)
 {
     SweepGrid grid = smallGrid();
@@ -168,7 +312,29 @@ TEST(SweepGrid, ValidationCatchesBadGrids)
     grid.configs.push_back(grid.configs.front());
     EXPECT_THROW(grid.validate(), FatalError);
 
+    // Scenario names must be present and unique.
+    grid = smallGrid();
+    grid.scenarios = twoScenarios();
+    grid.scenarios[1].name = "drop";
+    EXPECT_THROW(grid.validate(), FatalError);
+
+    grid = smallGrid();
+    grid.scenarios = twoScenarios();
+    grid.scenarios[0].name.clear();
+    EXPECT_THROW(grid.validate(), FatalError);
+
+    // Workload events beyond any config's core count fail before the
+    // fan-out, not on a worker thread.
+    grid = smallGrid(); // 4-core config
+    grid.scenarios = twoScenarios();
+    grid.scenarios[0].workload.add(0.01, 9, "idle");
+    EXPECT_THROW(grid.validate(), FatalError);
+
     EXPECT_NO_THROW(smallGrid().validate());
+
+    grid = smallGrid();
+    grid.scenarios = twoScenarios();
+    EXPECT_NO_THROW(grid.validate());
 }
 
 TEST(SweepGrid, LookupByName)

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Transient-response layer: analyzeTransients() on hand-built epoch
+ * logs (settling detection, overshoot energy, violation rate) and the
+ * scenario hook in ExperimentRunner — budget schedules drive the
+ * epoch loop, workload events swap applications mid-run, and the
+ * default constant scenario is bit-identical to no scenario at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+#include "policies/registry.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace {
+
+/** Epoch record with the fields the transient analysis consumes. */
+EpochRecord
+epoch(int n, Watts budget, Watts power, Seconds duration = 0.005)
+{
+    EpochRecord e;
+    e.epoch = n;
+    e.startTime = n * duration;
+    e.duration = duration;
+    e.budget = budget;
+    e.totalPower = power;
+    return e;
+}
+
+TEST(AnalyzeTransients, QuietRunHasNoDropsAndNoViolations)
+{
+    ExperimentResult res;
+    for (int i = 0; i < 5; ++i)
+        res.epochs.push_back(epoch(i, 60.0, 58.0));
+    const TransientSummary ts = analyzeTransients(res);
+    EXPECT_TRUE(ts.drops.empty());
+    EXPECT_EQ(ts.worstSettlingEpochs, 0);
+    EXPECT_DOUBLE_EQ(ts.violationRate, 0.0);
+    EXPECT_DOUBLE_EQ(ts.overshootEnergy, 0.0);
+}
+
+TEST(AnalyzeTransients, MeasuresSettlingAndOvershootAfterADrop)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    res.epochs.push_back(epoch(1, 40.0, 55.0)); // drop; +15 W over
+    res.epochs.push_back(epoch(2, 40.0, 45.0)); // +5 W over
+    res.epochs.push_back(epoch(3, 40.0, 39.5)); // settled
+    res.epochs.push_back(epoch(4, 40.0, 39.0));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    const BudgetTransient &tr = ts.drops[0];
+    EXPECT_EQ(tr.epoch, 1);
+    EXPECT_DOUBLE_EQ(tr.before, 60.0);
+    EXPECT_DOUBLE_EQ(tr.after, 40.0);
+    EXPECT_EQ(tr.settlingEpochs, 2);
+    EXPECT_NEAR(tr.overshootEnergy, (15.0 + 5.0) * 0.005, 1e-12);
+    EXPECT_EQ(ts.worstSettlingEpochs, 2);
+    EXPECT_NEAR(ts.violationRate, 2.0 / 5.0, 1e-12);
+    EXPECT_NEAR(ts.overshootEnergy, 20.0 * 0.005, 1e-12);
+}
+
+TEST(AnalyzeTransients, ImmediateComplianceSettlesInZeroEpochs)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    res.epochs.push_back(epoch(1, 40.0, 39.0));
+    res.epochs.push_back(epoch(2, 40.0, 39.5));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    EXPECT_EQ(ts.drops[0].settlingEpochs, 0);
+    EXPECT_DOUBLE_EQ(ts.drops[0].overshootEnergy, 0.0);
+}
+
+TEST(AnalyzeTransients, NeverSettlingReportsMinusOne)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    for (int i = 1; i < 5; ++i)
+        res.epochs.push_back(epoch(i, 40.0, 50.0));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    EXPECT_EQ(ts.drops[0].settlingEpochs, -1);
+    EXPECT_EQ(ts.worstSettlingEpochs, -1);
+    // Overshoot accrues across the whole unsettled window.
+    EXPECT_NEAR(ts.drops[0].overshootEnergy, 4 * 10.0 * 0.005,
+                1e-12);
+}
+
+TEST(AnalyzeTransients, ConsecutiveDecreasesMergeIntoOneDrop)
+{
+    // A downward ramp sampled at epochs is one transient, not one
+    // per epoch; settling counts from the bottom of the descent.
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    res.epochs.push_back(epoch(1, 55.0, 58.0)); // descending...
+    res.epochs.push_back(epoch(2, 50.0, 54.0));
+    res.epochs.push_back(epoch(3, 45.0, 50.0)); // bottom, +5 over
+    res.epochs.push_back(epoch(4, 45.0, 44.0)); // settled
+    res.epochs.push_back(epoch(5, 45.0, 44.5));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    const BudgetTransient &tr = ts.drops[0];
+    EXPECT_EQ(tr.epoch, 1);
+    EXPECT_DOUBLE_EQ(tr.before, 60.0);
+    EXPECT_DOUBLE_EQ(tr.after, 45.0);
+    EXPECT_EQ(tr.settlingEpochs, 1); // bottom at 3, settled at 4
+    // Overshoot from the descent's start: 3+4+5 W-epochs.
+    EXPECT_NEAR(tr.overshootEnergy, (3.0 + 4.0 + 5.0) * 0.005,
+                1e-12);
+}
+
+TEST(AnalyzeTransients, SineHalvesAreOneDropEach)
+{
+    // Two periods of a budget oscillation: each descending half is
+    // one transient.
+    ExperimentResult res;
+    const double b[] = {60, 50, 40, 50, 60, 50, 40, 50, 60};
+    for (int i = 0; i < 9; ++i)
+        res.epochs.push_back(epoch(i, b[i], b[i] - 1.0));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 2u);
+    EXPECT_EQ(ts.drops[0].epoch, 1);
+    EXPECT_DOUBLE_EQ(ts.drops[0].after, 40.0);
+    EXPECT_EQ(ts.drops[1].epoch, 5);
+    EXPECT_EQ(ts.worstSettlingEpochs, 0);
+}
+
+TEST(AnalyzeTransients, BudgetRisesAreNotDrops)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 40.0, 39.0));
+    res.epochs.push_back(epoch(1, 60.0, 50.0));
+    const TransientSummary ts = analyzeTransients(res);
+    EXPECT_TRUE(ts.drops.empty());
+}
+
+TEST(AnalyzeTransients, ObservationWindowEndsAtTheNextChange)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    res.epochs.push_back(epoch(1, 40.0, 50.0)); // never settles...
+    res.epochs.push_back(epoch(2, 40.0, 50.0));
+    res.epochs.push_back(epoch(3, 70.0, 50.0)); // ...window closed
+    res.epochs.push_back(epoch(4, 70.0, 50.0));
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    EXPECT_EQ(ts.drops[0].settlingEpochs, -1);
+    EXPECT_NEAR(ts.drops[0].overshootEnergy, 2 * 10.0 * 0.005,
+                1e-12);
+}
+
+TEST(AnalyzeTransients, ToleranceWidensTheSettledBand)
+{
+    ExperimentResult res;
+    res.epochs.push_back(epoch(0, 60.0, 59.0));
+    res.epochs.push_back(epoch(1, 40.0, 40.5));
+    const TransientSummary tight = analyzeTransients(res, 0.0);
+    ASSERT_EQ(tight.drops.size(), 1u);
+    EXPECT_EQ(tight.drops[0].settlingEpochs, -1);
+    const TransientSummary loose = analyzeTransients(res, 0.05);
+    EXPECT_EQ(loose.drops[0].settlingEpochs, 0);
+    EXPECT_THROW(analyzeTransients(res, -0.1), FatalError);
+}
+
+// ---------------------------------------------------------------
+// Scenario hook in the experiment loop.
+// ---------------------------------------------------------------
+
+ExperimentConfig
+horizonConfig(int epochs)
+{
+    ExperimentConfig cfg;
+    cfg.budgetFraction = 0.9;
+    cfg.targetInstructions = 1e12; // fixed horizon, never completes
+    cfg.maxEpochs = epochs;
+    return cfg;
+}
+
+TEST(ExperimentScenario, BudgetScheduleDrivesTheEpochLoop)
+{
+    Logger::global().level(LogLevel::Silent);
+    ExperimentConfig cfg = horizonConfig(12);
+    cfg.scenario.budget.addStep(0.0, 0.9);
+    cfg.scenario.budget.addStep(0.02, 0.5); // epoch 4 of 5 ms epochs
+    const ExperimentResult res = runWorkload(
+        "MIX1", "FastCap", cfg, SimConfig::defaultConfig(4));
+    Logger::global().level(LogLevel::Warn);
+
+    ASSERT_EQ(res.epochs.size(), 12u);
+    for (const EpochRecord &e : res.epochs) {
+        const double frac = e.epoch < 4 ? 0.9 : 0.5;
+        EXPECT_NEAR(e.budget, frac * res.peakPower, 1e-9)
+            << "epoch " << e.epoch;
+    }
+    // The run-level report keeps the configured base fraction.
+    EXPECT_DOUBLE_EQ(res.budgetFraction, 0.9);
+    // And the transient analysis sees exactly one drop at epoch 4.
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    EXPECT_EQ(ts.drops[0].epoch, 4);
+}
+
+TEST(ExperimentScenario, SetterHoldsUntilTheFirstSegment)
+{
+    // Before a schedule's first segment the mid-run budgetFraction()
+    // setter stays in effect; from the segment on, the schedule owns
+    // the budget.
+    Logger::global().level(LogLevel::Silent);
+    ExperimentConfig cfg = horizonConfig(8);
+    cfg.scenario.budget.addStep(0.02, 0.65); // epoch 4 onward
+
+    auto policy = makePolicy("FastCap");
+    SimConfig sim = SimConfig::defaultConfig(4);
+    ExperimentRunner runner(sim, workloads::mix("MIX1", 4), *policy,
+                            cfg);
+    runner.budgetFraction(0.7);
+    std::vector<EpochRecord> recs;
+    for (int i = 0; i < 8; ++i)
+        recs.push_back(runner.step());
+    Logger::global().level(LogLevel::Warn);
+
+    for (const EpochRecord &e : recs) {
+        const double frac = e.epoch < 4 ? 0.7 : 0.65;
+        EXPECT_NEAR(e.budget, frac * runner.peakPower(), 1e-9)
+            << "epoch " << e.epoch;
+    }
+}
+
+TEST(ExperimentScenario, FastCapReconvergesAfterABudgetDrop)
+{
+    Logger::global().level(LogLevel::Silent);
+    ExperimentConfig cfg = horizonConfig(16);
+    // 0.65 stays feasible: MIX1 on 4 cores floors at ~0.58 of peak.
+    cfg.scenario.budget.addStep(0.0, 0.9);
+    cfg.scenario.budget.addStep(0.025, 0.65);
+    const ExperimentResult res = runWorkload(
+        "MIX1", "FastCap", cfg, SimConfig::defaultConfig(4));
+    Logger::global().level(LogLevel::Warn);
+
+    const TransientSummary ts = analyzeTransients(res);
+    ASSERT_EQ(ts.drops.size(), 1u);
+    // Re-convergence: settled within a handful of epochs, not -1.
+    EXPECT_GE(ts.drops[0].settlingEpochs, 0);
+    EXPECT_LE(ts.drops[0].settlingEpochs, 4);
+}
+
+TEST(ExperimentScenario, WorkloadEventsSwapAppsMidRun)
+{
+    Logger::global().level(LogLevel::Silent);
+    ExperimentConfig cfg = horizonConfig(10);
+    cfg.scenario.workload.add(0.02, 0, "idle");
+
+    auto policy = makePolicy("Uncapped");
+    SimConfig sim = SimConfig::defaultConfig(4);
+    ExperimentRunner runner(sim, workloads::mix("MIX1", 4), *policy,
+                            cfg);
+    std::vector<EpochRecord> recs;
+    for (int i = 0; i < 10; ++i)
+        recs.push_back(runner.step());
+    Logger::global().level(LogLevel::Warn);
+
+    // The system now reports the idle profile on core 0; core 1 is
+    // untouched.
+    EXPECT_EQ(runner.system().appOf(0).name(), "idle");
+    EXPECT_EQ(runner.system().appOf(1).name(),
+              workloads::mixApps("MIX1")[1]);
+    // The swap is visible in the simulation: the idle loop never
+    // blocks on memory, so core 0's instruction rate jumps from
+    // applu's stall-bound pace to (nearly) one per cycle...
+    EXPECT_GT(recs.back().ips[0], 2.0 * recs.front().ips[0]);
+    // ...while the core-power total drops (activity 0.58 -> 0.05).
+    double pre = 0.0;
+    double post = 0.0;
+    for (int i = 1; i <= 3; ++i)
+        pre += recs[static_cast<std::size_t>(i)].corePower;
+    for (int i = 7; i <= 9; ++i)
+        post += recs[static_cast<std::size_t>(i)].corePower;
+    EXPECT_LT(post, pre);
+}
+
+TEST(ExperimentScenario, EventCoreOutOfRangeFailsFast)
+{
+    ExperimentConfig cfg = horizonConfig(4);
+    cfg.scenario.workload.add(0.01, 7, "idle"); // only 4 cores
+    auto policy = makePolicy("FastCap");
+    SimConfig sim = SimConfig::defaultConfig(4);
+    EXPECT_THROW(ExperimentRunner(sim, workloads::mix("MIX1", 4),
+                                  *policy, cfg),
+                 FatalError);
+}
+
+TEST(ExperimentScenario, ConstantScenarioIsBitIdenticalToNone)
+{
+    // The determinism contract of the whole PR: a schedule that only
+    // restates the static budget must not perturb a single bit.
+    ExperimentConfig plain;
+    plain.budgetFraction = 0.6;
+    plain.targetInstructions = 1e6;
+    const SimConfig sim = SimConfig::defaultConfig(4);
+    const ExperimentResult a =
+        runWorkload("ILP1", "FastCap", plain, sim);
+
+    ExperimentConfig scheduled = plain;
+    scheduled.scenario.budget.addStep(0.0, 0.6);
+    const ExperimentResult b =
+        runWorkload("ILP1", "FastCap", scheduled, sim);
+
+    ASSERT_EQ(a.epochs.size(), b.epochs.size());
+    for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+        EXPECT_EQ(a.epochs[i].totalPower, b.epochs[i].totalPower);
+        EXPECT_EQ(a.epochs[i].coreFreqIdx, b.epochs[i].coreFreqIdx);
+        EXPECT_EQ(a.epochs[i].memFreqIdx, b.epochs[i].memFreqIdx);
+    }
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i)
+        EXPECT_EQ(a.apps[i].completionTime, b.apps[i].completionTime);
+    EXPECT_EQ(a.budgetFraction, b.budgetFraction);
+}
+
+} // namespace
+} // namespace fastcap
