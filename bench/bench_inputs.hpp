@@ -76,6 +76,28 @@ syntheticInputs(std::size_t n, std::size_t m = 10, std::size_t f = 10,
     return in;
 }
 
+/**
+ * Homogeneous inputs: `n` identical cores (one solver equivalence
+ * class), the shape of the paper's fig. 10/12 single-application
+ * configurations and the best case for the class-collapsed hot path.
+ */
+inline PolicyInputs
+syntheticHomogeneousInputs(std::size_t n, std::size_t m = 10,
+                           std::size_t f = 10)
+{
+    PolicyInputs in = syntheticInputs(n, m, f);
+    const CoreModel proto = in.cores.front();
+    for (CoreModel &c : in.cores)
+        c = proto;
+
+    // Budget re-derived: every core now draws the prototype's power.
+    double max_power = in.staticPower() + in.memory.pm;
+    for (const CoreModel &c : in.cores)
+        max_power += c.pi;
+    in.budget = 0.6 * max_power;
+    return in;
+}
+
 } // namespace benchutil
 } // namespace fastcap
 

@@ -1,14 +1,24 @@
 /**
  * @file
  * Section IV-B, "Epoch length and algorithm overhead": the FastCap
- * algorithm's per-invocation wall time at 16/32/64 cores. The paper
- * measured 33.5 us / 64.9 us / 133.5 us (0.7% / 1.3% / 2.7% of a 5 ms
- * epoch) on their machine; absolute numbers differ on other hosts,
- * but the ~linear growth in N and the small fraction of the epoch
- * must hold.
+ * algorithm's per-invocation wall time. The paper measured
+ * 33.5 us / 64.9 us / 133.5 us at 16/32/64 cores (0.7% / 1.3% / 2.7%
+ * of a 5 ms epoch) on their machine; absolute numbers differ on other
+ * hosts, but the ~linear growth in N and the small fraction of the
+ * epoch must hold.
  *
- * Also covers the full governor path (counter conversion + model
- * fitting + solve) as used once per epoch.
+ * This binary also carries the many-core scaling study for the
+ * solver hot path (64/256/1024 cores, homogeneous and heterogeneous
+ * mixes) and its per-core reference baseline, so one run yields both
+ * the absolute per-epoch cost and the optimised-vs-reference speedup
+ * the perf-smoke CI job tracks. Emit machine-readable results with
+ *
+ *   bench_overhead --benchmark_out=BENCH_solver_overhead.json \
+ *                  --benchmark_out_format=json
+ *
+ * and compare against the committed baseline with
+ * tools/check_overhead.py (speedup ratios are machine-portable;
+ * absolute times are informational).
  */
 
 #include <benchmark/benchmark.h>
@@ -18,6 +28,7 @@
 #include "bench_inputs.hpp"
 #include "core/fastcap_policy.hpp"
 #include "core/model_fitter.hpp"
+#include "core/solver.hpp"
 
 using namespace fastcap;
 
@@ -37,6 +48,83 @@ BM_EpochDecision(benchmark::State &state)
     // obtain the paper's overhead percentage (0.7% / 1.3% / 2.7%).
 }
 BENCHMARK(BM_EpochDecision)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Cold solve (no warm-start carry-over between iterations) on the
+ * optimised hot path: a fresh solver per epoch, as a governor
+ * restarted every epoch would pay.
+ */
+void
+solveScaling(benchmark::State &state, const PolicyInputs &in,
+             bool reference)
+{
+    SolverOptions opts;
+    opts.referenceImpl = reference;
+    for (auto _ : state) {
+        FastCapSolver solver(in, opts);
+        SolveResult res = solver.solve();
+        benchmark::DoNotOptimize(res);
+    }
+}
+
+void
+BM_SolveHomogeneous(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    solveScaling(state, benchutil::syntheticHomogeneousInputs(n),
+                 false);
+}
+BENCHMARK(BM_SolveHomogeneous)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SolveHomogeneousReference(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    solveScaling(state, benchutil::syntheticHomogeneousInputs(n),
+                 true);
+}
+BENCHMARK(BM_SolveHomogeneousReference)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SolveHeterogeneous(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    solveScaling(state, benchutil::syntheticInputs(n), false);
+}
+BENCHMARK(BM_SolveHeterogeneous)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SolveHeterogeneousReference(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    solveScaling(state, benchutil::syntheticInputs(n), true);
+}
+BENCHMARK(BM_SolveHeterogeneousReference)->Arg(64)->Arg(256)
+    ->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+/**
+ * Steady-state governor: one policy object deciding epoch after
+ * epoch, so the warm start (memory-level fast path) is active from
+ * the second iteration on. This is the per-epoch cost an online
+ * deployment actually pays.
+ */
+void
+BM_EpochDecisionWarm(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticHomogeneousInputs(n);
+    FastCapPolicy policy;
+    (void)policy.decide(in); // prime the warm-start hint
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+}
+BENCHMARK(BM_EpochDecisionWarm)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
 void

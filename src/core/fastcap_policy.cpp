@@ -34,6 +34,7 @@ mapToLadders(const PolicyInputs &inputs, const InnerSolution &sol,
     dec.memFreqIdx = mem_index;
     dec.evaluations = evaluations;
     dec.predictedPower = sol.predictedPower;
+    dec.budgetSaturated = sol.saturatedLow || !sol.budgetFeasible;
     dec.coreFreqIdx.reserve(inputs.cores.size());
     for (double x : sol.coreRatios)
         dec.coreFreqIdx.push_back(
@@ -44,8 +45,20 @@ mapToLadders(const PolicyInputs &inputs, const InnerSolution &sol,
 PolicyDecision
 FastCapPolicy::decide(const PolicyInputs &inputs)
 {
+    // The hint's bracket shrink is only sound against an unchanged
+    // budget; the comparison is exact, mirroring how the scenario
+    // engine re-issues bit-identical budgets between steps.
+    _opts.warmStart.sameBudget =
+        _opts.warmStart.valid && inputs.budget == _lastBudget;
+
     FastCapSolver solver(inputs, _opts);
     SolveResult res = solver.solve();
+
+    // Remember this epoch's solution as the next epoch's warm start.
+    _opts.warmStart.valid = true;
+    _opts.warmStart.memIndex = res.memIndex;
+    _opts.warmStart.d = res.best.d;
+    _lastBudget = inputs.budget;
 
     if (!res.best.budgetFeasible &&
         res.best.predictedPower > inputs.budget * 1.01) {
@@ -55,8 +68,10 @@ FastCapPolicy::decide(const PolicyInputs &inputs)
              "pinning minimum frequencies",
              inputs.budget, res.best.predictedPower);
     }
-    return mapToLadders(inputs, res.best, res.memIndex,
-                        res.evaluations);
+    PolicyDecision dec = mapToLadders(inputs, res.best, res.memIndex,
+                                      res.evaluations);
+    dec.utilisationClamped = res.utilisationClamped;
+    return dec;
 }
 
 PolicyDecision

@@ -17,6 +17,14 @@ namespace fastcap {
 
 /**
  * OS-level FastCap governor decision logic.
+ *
+ * Epoch-to-epoch the governor warm-starts the solver from its
+ * previous decision: the memory-level search probes last epoch's
+ * level and its neighbours first (result-identical to a cold solve —
+ * see WarmStart), and, when SolverOptions::warmStartShrinkBracket is
+ * set and the budget is unchanged, the D bisection brackets around
+ * last epoch's D. reset() drops the hint, so back-to-back
+ * experiments stay independent.
  */
 class FastCapPolicy : public CappingPolicy
 {
@@ -29,8 +37,12 @@ class FastCapPolicy : public CappingPolicy
 
     PolicyDecision decide(const PolicyInputs &inputs) override;
 
+    void reset() override { _opts.warmStart = WarmStart{}; }
+
   private:
     SolverOptions _opts;
+    /** Budget of the epoch that produced the warm-start hint. */
+    Watts _lastBudget = 0.0;
 };
 
 /**

@@ -132,6 +132,19 @@ struct PolicyDecision
     int evaluations = 0;
     /** Power the policy predicts for this operating point. */
     Watts predictedPower = 0.0;
+    /**
+     * The budget sits below the platform's floor power at this
+     * operating point: the decision pins minimum frequencies and
+     * still predicts an over-budget draw. Epochs flagged here are
+     * infeasibility artifacts, not tracking errors.
+     */
+    bool budgetSaturated = false;
+    /**
+     * The bus-utilisation guard found no admissible memory level and
+     * the solve ran outside the queuing model's validity domain
+     * (see SolveResult::utilisationClamped).
+     */
+    bool utilisationClamped = false;
 };
 
 } // namespace fastcap

@@ -74,12 +74,18 @@ QueuingModel::instructionRate(std::size_t core, double x_i,
 
 std::size_t
 minMemIndexForUtilisation(const PolicyInputs &inputs,
-                          double max_utilisation)
+                          double max_utilisation, bool *clamped)
 {
+    if (clamped)
+        *clamped = false;
     if (inputs.memRatios.empty())
         fatal("minMemIndexForUtilisation: empty memory ladder");
+    // Guard disabled: no validity-domain floor — the whole ladder is
+    // searchable. (Historically this returned the *top* index, which
+    // pinned memory at maximum frequency: the opposite of "guard
+    // off" and contradicting the SolverOptions documentation.)
     if (max_utilisation <= 0.0)
-        return inputs.memRatios.size() - 1;
+        return 0;
 
     for (std::size_t m = 0; m < inputs.memRatios.size(); ++m) {
         const double x_b = inputs.memRatios[m];
@@ -96,6 +102,10 @@ minMemIndexForUtilisation(const PolicyInputs &inputs,
         if (ok)
             return m;
     }
+    // No admissible level: even the top of the ladder saturates the
+    // bus at the measured demand.
+    if (clamped)
+        *clamped = true;
     return inputs.memRatios.size() - 1;
 }
 

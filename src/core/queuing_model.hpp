@@ -73,10 +73,20 @@ class QueuingModel
  * controller. Eq. 1 extrapolates Q and U measured at one operating
  * point; past saturation that extrapolation collapses, so all
  * policies restrict their memory search to this validity domain.
- * Returns the top index if even that saturates.
+ *
+ * Returns the top index if even that saturates — a *clamp*, not an
+ * admissible level: the solver then optimises outside the queuing
+ * model's validity domain. When `clamped` is non-null it is set to
+ * true exactly in that case (and to false otherwise) so callers can
+ * surface the model-domain violation instead of silently trusting
+ * the result.
+ *
+ * A non-positive `max_utilisation` disables the guard entirely:
+ * index 0 (no floor), never clamped.
  */
 std::size_t minMemIndexForUtilisation(const PolicyInputs &inputs,
-                                      double max_utilisation = 0.9);
+                                      double max_utilisation = 0.9,
+                                      bool *clamped = nullptr);
 
 } // namespace fastcap
 

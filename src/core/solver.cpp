@@ -2,16 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <map>
 
 #include "util/logging.hpp"
 #include "util/math.hpp"
 
 namespace fastcap {
 
+namespace {
+
+/** Bit pattern of a double: exact (-0.0 != 0.0) class-key element. */
+std::uint64_t
+bitsOf(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
 FastCapSolver::FastCapSolver(const PolicyInputs &inputs,
                              SolverOptions opts)
-    : _in(inputs), _opts(opts), _queuing(inputs)
+    : _in(inputs), _opts(std::move(opts)), _queuing(inputs)
 {
     if (_in.cores.empty())
         fatal("FastCapSolver: no cores in inputs");
@@ -23,6 +39,58 @@ FastCapSolver::FastCapSolver(const PolicyInputs &inputs,
     _minTurnaround.reserve(_in.cores.size());
     for (std::size_t i = 0; i < _in.cores.size(); ++i)
         _minTurnaround.push_back(_queuing.minTurnaround(i));
+
+    // Same summation order as PolicyInputs::staticPower(), so the
+    // hoisted constant is bit-identical to a fresh evaluation.
+    _staticPower = _in.staticPower();
+    _minCoreRatio = _in.minCoreRatio();
+
+    if (!_opts.referenceImpl)
+        buildClasses();
+}
+
+void
+FastCapSolver::buildClasses()
+{
+    const std::size_t n = _in.cores.size();
+    _classOf.resize(n);
+
+    // Exact-bit class key: cores are interchangeable for the solve
+    // iff every model parameter the inner loop reads is the same
+    // double, including the controller-access row the queuing model
+    // weights R by.
+    std::map<std::vector<std::uint64_t>, std::uint32_t> ids;
+    std::vector<std::uint64_t> key;
+    for (std::size_t i = 0; i < n; ++i) {
+        const CoreModel &c = _in.cores[i];
+        key.clear();
+        key.reserve(5 + _in.accessProbs[i].size());
+        key.push_back(bitsOf(c.zbar));
+        key.push_back(bitsOf(c.cache));
+        key.push_back(bitsOf(c.pi));
+        key.push_back(bitsOf(c.alpha));
+        key.push_back(bitsOf(c.pStatic));
+        for (double p : _in.accessProbs[i])
+            key.push_back(bitsOf(p));
+
+        const auto [it, inserted] = ids.emplace(
+            key, static_cast<std::uint32_t>(_classRep.size()));
+        if (inserted) {
+            _classRep.push_back(i);
+            _classMinT.push_back(_minTurnaround[i]);
+            _classCache.push_back(c.cache);
+            _classZbar.push_back(c.zbar);
+            _classPi.push_back(c.pi);
+            _classAlpha.push_back(c.alpha);
+            _classPStatic.push_back(c.pStatic);
+        }
+        _classOf[i] = it->second;
+    }
+
+    const std::size_t k = _classRep.size();
+    _classR.resize(k);
+    _classRatio.resize(k);
+    _classPowTerm.resize(k);
 }
 
 Watts
@@ -37,6 +105,8 @@ FastCapSolver::power(const std::vector<double> &core_ratios,
     p += _in.memory.pm * std::pow(x_b, _in.memory.beta);
     return p;
 }
+
+// --- Per-core reference implementation (pre-hot-path) --------------
 
 double
 FastCapSolver::maxD(const std::vector<Seconds> &r_at_xb) const
@@ -102,8 +172,97 @@ FastCapSolver::socketPowerAtD(const SocketBudget &socket, double d,
     return p;
 }
 
+// --- Equivalence-class hot path ------------------------------------
+
+void
+FastCapSolver::classResponseTimes(double x_b)
+{
+    // One queuing evaluation per class: cores of a class share their
+    // access-probability row, so R_i(x_b) is the same arithmetic.
+    for (std::size_t c = 0; c < _classRep.size(); ++c)
+        _classR[c] = _queuing.responseTime(_classRep[c], x_b);
+}
+
+double
+FastCapSolver::classMaxD() const
+{
+    // min over classes == min over cores: members share the bound.
+    double d_max = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < _classRep.size(); ++c) {
+        const double bound = _classMinT[c] /
+            (_classZbar[c] + _classCache[c] + _classR[c]);
+        d_max = std::min(d_max, bound);
+    }
+    return d_max;
+}
+
+void
+FastCapSolver::classTermsAtD(double d) const
+{
+    // The only transcendental work per probe: one pow per class.
+    // Arithmetic mirrors coreRatioAtD()/powerAtD() exactly so each
+    // class term carries the same bits as its per-core counterpart.
+    for (std::size_t c = 0; c < _classRep.size(); ++c) {
+        const Seconds z = _classMinT[c] / d - _classCache[c] -
+            _classR[c];
+        double x = 1.0;
+        if (z > _classZbar[c])
+            x = std::max(_classZbar[c] / z, _minCoreRatio);
+        _classRatio[c] = x;
+        _classPowTerm[c] = _classPi[c] * std::pow(x, _classAlpha[c]);
+    }
+}
+
+Watts
+FastCapSolver::classPowerAtD(double d, double mem_term) const
+{
+    classTermsAtD(d);
+    // Accumulate in original core order: the sum — and with it every
+    // bisection iterate — is bit-identical to the per-core reference.
+    Watts p = _staticPower + mem_term;
+    for (const std::uint32_t c : _classOf)
+        p += _classPowTerm[c];
+    return p;
+}
+
+Watts
+FastCapSolver::classSocketPowerAtD(const SocketBudget &socket,
+                                   double d) const
+{
+    classTermsAtD(d);
+    Watts p = 0.0;
+    const std::size_t end = socket.firstCore + socket.numCores;
+    for (std::size_t i = socket.firstCore; i < end; ++i) {
+        const std::uint32_t c = _classOf[i];
+        p += _classPowTerm[c] + _classPStatic[c];
+    }
+    return p;
+}
+
+// --- Inner solve ----------------------------------------------------
+
+namespace {
+
+/** Saturation flags of the binding root solve, by residual sign. */
+void
+applySaturation(InnerSolution &sol, const RootResult &binding)
+{
+    sol.saturatedLow = binding.saturated && binding.fx > 0.0;
+    sol.saturatedHigh = binding.saturated && binding.fx < 0.0;
+}
+
+} // namespace
+
 InnerSolution
 FastCapSolver::solveAtMemRatio(double x_b)
+{
+    if (_opts.referenceImpl)
+        return referenceSolveAtMemRatio(x_b);
+    return classSolveAtMemRatio(x_b);
+}
+
+InnerSolution
+FastCapSolver::referenceSolveAtMemRatio(double x_b)
 {
     ++_evaluations;
 
@@ -127,7 +286,10 @@ FastCapSolver::solveAtMemRatio(double x_b)
     // Per-processor constraints (6'): each socket's own monotone
     // solve bounds D as well; the system runs at the tightest one so
     // degradation stays equal across all applications.
-    double d_final = root.x;
+    InnerSolution sol;
+    sol.d = root.x;
+    sol.rootIterations = root.iterations;
+    applySaturation(sol, root);
     for (const SocketBudget &socket : _opts.socketBudgets) {
         if (socket.numCores == 0 ||
             socket.firstCore + socket.numCores > _in.cores.size())
@@ -140,22 +302,119 @@ FastCapSolver::solveAtMemRatio(double x_b)
         const RootResult socket_root = solveMonotone(
             socket_residual, d_lo, d_hi, d_hi * _opts.dTolerance,
             std::max(socket.budget, 1.0) * 1e-9, 200);
-        d_final = std::min(d_final, socket_root.x);
+        sol.rootIterations += socket_root.iterations;
+        if (socket_root.x < sol.d) {
+            sol.d = socket_root.x;
+            applySaturation(sol, socket_root);
+        }
+    }
+
+    sol.memRatio = x_b;
+    sol.coreRatios.assign(_in.cores.size(), 1.0);
+    sol.predictedPower = powerAtD(sol.d, x_b, r_at_xb, &sol.coreRatios);
+    finishSolution(sol, &r_at_xb);
+    return sol;
+}
+
+InnerSolution
+FastCapSolver::classSolveAtMemRatio(double x_b)
+{
+    ++_evaluations;
+
+    classResponseTimes(x_b);
+
+    const double d_hi = classMaxD();
+    const double d_lo = d_hi * 1e-4;
+    const double mem_term =
+        _in.memory.pm * std::pow(x_b, _in.memory.beta);
+
+    const auto residual = [&](double d) {
+        return classPowerAtD(d, mem_term) - _in.budget;
+    };
+
+    // Warm-start bracket shrink (opt-in): with an unchanged budget
+    // the previous epoch's D is close to this one's, so a band around
+    // it usually brackets the root at a fraction of the iterations.
+    // The band changes the midpoint lattice, so the root can differ
+    // from a cold solve in its last ulps (still within dTolerance).
+    RootResult root;
+    bool solved = false;
+    int band_evals = 0;
+    if (_opts.warmStartShrinkBracket && _dHint > 0.0) {
+        const double band_lo = std::max(d_lo, _dHint * 0.5);
+        const double band_hi = std::min(d_hi, _dHint * 2.0);
+        if (band_lo < band_hi) {
+            const double f_blo = residual(band_lo);
+            const double f_bhi = residual(band_hi);
+            band_evals = 2;
+            if (f_blo < 0.0 && f_bhi > 0.0) {
+                root = bisectWithEndpoints(
+                    residual, band_lo, f_blo, band_hi, f_bhi,
+                    d_hi * _opts.dTolerance, _in.budget * 1e-9, 200);
+                root.iterations += band_evals;
+                solved = true;
+            }
+        }
+    }
+    if (!solved) {
+        root = solveMonotone(residual, d_lo, d_hi,
+                             d_hi * _opts.dTolerance,
+                             _in.budget * 1e-9, 200);
+        // A shrink band that failed to bracket still spent its two
+        // probes; every evaluation is accounted for.
+        root.iterations += band_evals;
     }
 
     InnerSolution sol;
+    sol.d = root.x;
+    sol.rootIterations = root.iterations;
+    applySaturation(sol, root);
+    for (const SocketBudget &socket : _opts.socketBudgets) {
+        if (socket.numCores == 0 ||
+            socket.firstCore + socket.numCores > _in.cores.size())
+            fatal("FastCapSolver: socket budget range [%zu, %zu) out "
+                  "of bounds", socket.firstCore,
+                  socket.firstCore + socket.numCores);
+        const auto socket_residual = [&](double d) {
+            return classSocketPowerAtD(socket, d) - socket.budget;
+        };
+        const RootResult socket_root = solveMonotone(
+            socket_residual, d_lo, d_hi, d_hi * _opts.dTolerance,
+            std::max(socket.budget, 1.0) * 1e-9, 200);
+        sol.rootIterations += socket_root.iterations;
+        if (socket_root.x < sol.d) {
+            sol.d = socket_root.x;
+            applySaturation(sol, socket_root);
+        }
+    }
+
     sol.memRatio = x_b;
-    sol.d = d_final;
-    sol.coreRatios.assign(_in.cores.size(), 1.0);
-    sol.predictedPower =
-        powerAtD(d_final, x_b, r_at_xb, &sol.coreRatios);
+    sol.coreRatios.resize(_in.cores.size());
+    classTermsAtD(sol.d);
+    Watts p = _staticPower + mem_term;
+    for (std::size_t i = 0; i < _in.cores.size(); ++i) {
+        const std::uint32_t c = _classOf[i];
+        p += _classPowTerm[c];
+        sol.coreRatios[i] = _classRatio[c];
+    }
+    sol.predictedPower = p;
+    finishSolution(sol, nullptr);
+    return sol;
+}
+
+void
+FastCapSolver::finishSolution(InnerSolution &sol,
+                              const std::vector<Seconds> *r_at_xb) const
+{
     // Tolerance matches the bisection's, so a solution sitting right
     // on the budget is not misreported as infeasible.
     sol.budgetFeasible =
         sol.predictedPower <= _in.budget * (1.0 + 1e-3);
     for (const SocketBudget &socket : _opts.socketBudgets) {
-        if (socketPowerAtD(socket, d_final, r_at_xb) >
-            socket.budget * (1.0 + 1e-3))
+        const Watts sp = r_at_xb
+            ? socketPowerAtD(socket, sol.d, *r_at_xb)
+            : classSocketPowerAtD(socket, sol.d);
+        if (sp > socket.budget * (1.0 + 1e-3))
             sol.budgetFeasible = false;
     }
     if (!sol.budgetFeasible) {
@@ -166,7 +425,6 @@ FastCapSolver::solveAtMemRatio(double x_b)
         // saturated-D placeholder.
         sol.d = -(sol.predictedPower - _in.budget) / _in.budget;
     }
-    return sol;
 }
 
 InnerSolution
@@ -184,8 +442,15 @@ FastCapSolver::solve()
     // Restrict the search to the queuing model's validity domain:
     // below this index the measured arrival rate would saturate the
     // bus and Eq. 1's extrapolation collapses.
-    const std::size_t floor_idx =
-        minMemIndexForUtilisation(_in, _opts.maxBusUtilisation);
+    bool clamped = false;
+    const std::size_t floor_idx = minMemIndexForUtilisation(
+        _in, _opts.maxBusUtilisation, &clamped);
+    result.utilisationClamped = clamped;
+    if (clamped)
+        warn("FastCapSolver: no memory level keeps bus utilisation "
+             "below %.2f at the measured demand; solving at the top "
+             "of the ladder, outside the queuing model's validity "
+             "domain", _opts.maxBusUtilisation);
 
     if (_opts.exhaustiveMemSearch || m - floor_idx <= 3) {
         // Reference path: scan every admissible memory level (used by
@@ -214,11 +479,40 @@ FastCapSolver::solve()
     std::vector<bool> have(m, false);
     const auto eval = [&](std::size_t idx) -> const InnerSolution & {
         if (!have[idx]) {
+            if (_opts.warmStartShrinkBracket &&
+                _opts.warmStart.valid && _opts.warmStart.sameBudget &&
+                idx == _opts.warmStart.memIndex)
+                _dHint = _opts.warmStart.d;
             memo[idx] = solveAtMemIndex(idx);
+            _dHint = 0.0;
             have[idx] = true;
         }
         return memo[idx];
     };
+
+    // Warm start: probe the previous epoch's level and its
+    // neighbours first. Confirming a local optimum there picks the
+    // same level as the cold search (the D(m) curve is unimodal and
+    // the inner solve at a level does not depend on the search
+    // trajectory), at 2-3 inner solves instead of ~2 log2 M.
+    if (_opts.warmStart.valid) {
+        const std::size_t h = std::clamp(_opts.warmStart.memIndex,
+                                         floor_idx, m - 1);
+        const double d_h = eval(h).d;
+        const double d_up =
+            (h + 1 <= m - 1) ? eval(h + 1).d
+                             : -std::numeric_limits<double>::infinity();
+        const double d_down =
+            (h >= floor_idx + 1)
+                ? eval(h - 1).d
+                : -std::numeric_limits<double>::infinity();
+        if (d_h >= d_up && d_h >= d_down) {
+            result.best = eval(h);
+            result.memIndex = h;
+            result.evaluations = _evaluations;
+            return result;
+        }
+    }
 
     std::size_t lo = floor_idx;
     std::size_t hi = m - 1;

@@ -22,12 +22,27 @@
  * Frequency-ladder clamping: cores whose required ratio falls below
  * f_min/f_max are pinned at the lowest frequency; their power
  * contribution saturates, keeping the power curve monotone in D.
+ *
+ * Hot-path design for large N (docs/ARCHITECTURE.md, "Solver hot
+ * path"): per-core constants are gathered once per construction into
+ * a flat structure-of-arrays scratch, and cores sharing the same
+ * model parameters (z̄, c, P_i, alpha, P_static, controller-access
+ * row) are collapsed into *equivalence classes*. Every transcendental
+ * (std::pow) and queuing evaluation runs once per class per probe;
+ * the per-core work left in the inner loop is a table lookup and an
+ * add, kept in original core order so the accumulated power — and
+ * therefore every bisection iterate and the final SolveResult — is
+ * bit-identical to the per-core reference path
+ * (SolverOptions::referenceImpl). Homogeneous mixes collapse to one
+ * class, making the solve O(#classes log M) instead of O(N log M)
+ * in transcendental work.
  */
 
 #ifndef FASTCAP_CORE_SOLVER_HPP
 #define FASTCAP_CORE_SOLVER_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/inputs.hpp"
@@ -50,6 +65,20 @@ struct InnerSolution
     std::vector<double> coreRatios; //!< x_i per core, in (0, 1]
     Watts predictedPower = 0.0;   //!< model power at this point
     bool budgetFeasible = false;  //!< power <= budget (within tol)
+    /**
+     * The binding root solve clamped at the D floor: the budget sits
+     * below this memory level's floor power (every core already at
+     * f_min). Propagated from RootResult::saturated so infeasibility
+     * is an explicit diagnostic, not an inference from a residual.
+     */
+    bool saturatedLow = false;
+    /**
+     * The binding root solve clamped at maxD: the budget exceeds
+     * what this memory level can spend even at full throttle.
+     */
+    bool saturatedHigh = false;
+    /** Function evaluations the root solves consumed. */
+    int rootIterations = 0;
 };
 
 /** Outcome of the full FastCap solve. */
@@ -58,6 +87,14 @@ struct SolveResult
     InnerSolution best;
     std::size_t memIndex = 0;   //!< chosen memory ladder index
     int evaluations = 0;        //!< inner solves performed
+    /**
+     * The bus-utilisation guard found no admissible memory level and
+     * clamped the search to the top of the ladder: the solution was
+     * computed outside the queuing model's validity domain (Eq. 1
+     * extrapolation past saturation) and must be treated as a
+     * best-effort fallback, not a model-backed optimum.
+     */
+    bool utilisationClamped = false;
 };
 
 /**
@@ -73,6 +110,28 @@ struct SocketBudget
     Watts budget = 0.0;
 };
 
+/**
+ * Previous-epoch solution hint. With `valid`, the memory-level search
+ * probes `memIndex` and its neighbours first: under the unimodality
+ * Algorithm 1 already assumes, confirming a local optimum there picks
+ * the same level as the cold search while skipping most level probes.
+ * This fast path is result-identical by construction (the inner solve
+ * at a level does not depend on the search trajectory).
+ *
+ * `d` and `sameBudget` additionally enable the bisection bracket
+ * shrink when SolverOptions::warmStartShrinkBracket is set — see that
+ * flag for the bit-stability trade-off.
+ */
+struct WarmStart
+{
+    bool valid = false;
+    std::size_t memIndex = 0;
+    /** D the hinted solve achieved at that level. */
+    double d = 0.0;
+    /** Budget is bit-identical to the hinted solve's. */
+    bool sameBudget = false;
+};
+
 /** Options controlling the FastCap solve. */
 struct SolverOptions
 {
@@ -81,11 +140,33 @@ struct SolverOptions
     /** Scan all M memory levels instead of binary search. */
     bool exhaustiveMemSearch = false;
     /**
+     * Disable the structure-of-arrays / equivalence-class hot path
+     * and run the historical per-core implementation (one pow and
+     * one queuing evaluation per core per probe, fresh vectors per
+     * call). The results are bit-identical either way — enforced by
+     * the solver fuzz suite — so this exists as the cross-check
+     * reference and as the perf baseline for bench_overhead.
+     */
+    bool referenceImpl = false;
+    /**
      * Highest predicted bus utilisation the memory search may visit
      * (Eq. 1's validity domain; see minMemIndexForUtilisation).
      * Non-positive disables the guard.
      */
     double maxBusUtilisation = 0.9;
+    /** Previous-epoch hint; see WarmStart. */
+    WarmStart warmStart;
+    /**
+     * With a valid warm-start hint whose budget is unchanged, shrink
+     * the D bisection bracket to a band around the hinted D (falling
+     * back to the full bracket when the band does not bracket the
+     * root). This changes the bisection iterate sequence, so the
+     * returned D may differ from a cold solve in its last ulps —
+     * within dTolerance, but not bit-identical. Off by default;
+     * leave it off wherever byte-stable output matters (golden CSVs,
+     * paired sweeps).
+     */
+    bool warmStartShrinkBracket = false;
     /**
      * Optional per-processor budgets (additional constraints 6').
      * The achieved D becomes the minimum of the global solve and
@@ -134,6 +215,9 @@ class FastCapSolver
     /** Inner-solve evaluations since construction. */
     int evaluations() const { return _evaluations; }
 
+    /** Distinct core equivalence classes (1 for homogeneous mixes). */
+    std::size_t numClasses() const { return _classRep.size(); }
+
     const QueuingModel &queuing() const { return _queuing; }
 
   private:
@@ -153,11 +237,59 @@ class FastCapSolver
     /** Largest feasible D at x_b (all constraints 7 satisfied). */
     double maxD(const std::vector<Seconds> &r_at_xb) const;
 
+    // --- Equivalence-class hot path -------------------------------
+    // Per-class mirrors of the per-core quantities above. The class
+    // scratch is sized once at construction; per-probe state lives in
+    // mutable members so the inner loop performs no allocation.
+
+    /** Group cores into classes; fill the SoA scratch. */
+    void buildClasses();
+
+    /** Per-class R(x_b); one queuing evaluation per class. */
+    void classResponseTimes(double x_b);
+
+    /** Per-class ratio and pi*x^alpha at D (one pow per class). */
+    void classTermsAtD(double d) const;
+
+    Watts classPowerAtD(double d, double mem_term) const;
+    Watts classSocketPowerAtD(const SocketBudget &socket,
+                              double d) const;
+    double classMaxD() const;
+    InnerSolution classSolveAtMemRatio(double x_b);
+    InnerSolution referenceSolveAtMemRatio(double x_b);
+
+    /** Shared tail: feasibility + infeasibility penalty ordering. */
+    void finishSolution(InnerSolution &sol,
+                        const std::vector<Seconds> *r_at_xb) const;
+
     const PolicyInputs &_in;
     SolverOptions _opts;
     QueuingModel _queuing;
-    std::vector<Seconds> _minTurnaround; //!< T̄_i cache
+    std::vector<Seconds> _minTurnaround; //!< T̄_i cache (per core)
     int _evaluations = 0;
+
+    // Constants hoisted out of the per-probe loops.
+    Watts _staticPower = 0.0;
+    double _minCoreRatio = 1.0;
+    /**
+     * Bracket-shrink hint for the level being probed; set by solve()
+     * around the warm-started level only, 0 when inactive.
+     */
+    double _dHint = 0.0;
+
+    // Class scratch (SoA), built once per construction.
+    std::vector<std::uint32_t> _classOf;   //!< core -> class id
+    std::vector<std::size_t> _classRep;    //!< representative core
+    std::vector<double> _classMinT;        //!< T̄ per class
+    std::vector<double> _classCache;       //!< c per class
+    std::vector<double> _classZbar;        //!< z̄ per class
+    std::vector<double> _classPi;          //!< P_i per class
+    std::vector<double> _classAlpha;       //!< alpha per class
+    std::vector<double> _classPStatic;     //!< P_static per class
+    // Per-probe state, reused across solves (no allocation).
+    std::vector<double> _classR;           //!< R(x_b) per class
+    mutable std::vector<double> _classRatio;   //!< x(D) per class
+    mutable std::vector<double> _classPowTerm; //!< P_i x^alpha per class
 };
 
 } // namespace fastcap

@@ -83,6 +83,15 @@ ExperimentResult::allCompleted() const
     return true;
 }
 
+int
+ExperimentResult::saturatedEpochs() const
+{
+    int n = 0;
+    for (const EpochRecord &e : epochs)
+        n += e.budgetSaturated ? 1 : 0;
+    return n;
+}
+
 ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
                                    std::vector<AppProfile> apps,
                                    CappingPolicy &policy,
@@ -376,6 +385,8 @@ ExperimentRunner::step()
     rec.budget = budget();
     rec.memFreqIdx = _system.memFreqIndex();
     rec.evaluations = dec.evaluations;
+    rec.budgetSaturated = dec.budgetSaturated;
+    rec.utilisationClamped = dec.utilisationClamped;
     rec.coreFreqIdx.resize(static_cast<std::size_t>(n));
     rec.ips.resize(static_cast<std::size_t>(n));
 
@@ -453,7 +464,7 @@ runWorkload(const std::string &workload,
             const std::string &policy_name, const ExperimentConfig &cfg,
             const SimConfig &sim_cfg)
 {
-    auto policy = makePolicy(policy_name);
+    auto policy = makePolicy(policy_name, cfg.solver);
     ExperimentRunner runner(
         sim_cfg, workloads::mix(workload, sim_cfg.numCores), *policy,
         cfg);

@@ -25,6 +25,7 @@
 #include "core/inputs.hpp"
 #include "core/model_fitter.hpp"
 #include "core/policy.hpp"
+#include "core/solver.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/system.hpp"
 #include "util/stats.hpp"
@@ -62,6 +63,13 @@ struct ExperimentConfig
      * mid-run budgetFraction() calls) from its first segment on.
      */
     Scenario scenario;
+    /**
+     * Options for the solver-backed policies created through
+     * runWorkload() (socket budgets, reference implementation,
+     * warm-start bracket shrink). Policies constructed by the caller
+     * carry their own options; this field does not reach them.
+     */
+    SolverOptions solver;
 };
 
 /** Per-epoch record for time-series figures. */
@@ -85,6 +93,14 @@ struct EpochRecord
     std::size_t memFreqIdx = 0;
     std::vector<double> ips;    //!< per-core instruction rate
     int evaluations = 0;        //!< policy inner-solve count
+    /**
+     * The policy reported the epoch's budget as infeasible (below the
+     * platform floor power): the operating point is pinned, not
+     * tracking. See PolicyDecision::budgetSaturated.
+     */
+    bool budgetSaturated = false;
+    /** Solve ran outside the queuing model's validity domain. */
+    bool utilisationClamped = false;
 };
 
 /** Per-application outcome. */
@@ -128,6 +144,12 @@ struct ExperimentResult
     double maxEpochPowerFraction() const;
     /** True if every application completed. */
     bool allCompleted() const;
+    /**
+     * Epochs whose budget the policy reported as infeasible (pinned
+     * at the floor). Non-zero means the over-budget epochs in this
+     * run are saturation artifacts, not control error.
+     */
+    int saturatedEpochs() const;
 };
 
 /**

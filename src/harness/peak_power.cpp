@@ -54,35 +54,6 @@ dvfsKey(const SimConfig &cfg)
     return h;
 }
 
-/**
- * Cache key over every configuration field that influences the
- * measurement: power parameters, topology, DVFS ladders/voltages,
- * and the sampling window the measurement runs. Determinism of
- * parallel sweeps rests on this key being complete — two configs
- * that measure differently must never share an entry.
- */
-std::string
-cacheKey(const SimConfig &cfg, int epochs)
-{
-    char buf[320];
-    std::snprintf(buf, sizeof(buf),
-                  "n=%d mode=%d ctrl=%d banks=%d burst=%.4f "
-                  "cdyn=%.3f cst=%.3f sf=%.3f ae=%.3g if=%.3f mc=%.3f "
-                  "mst=%.3f bg=%.3f il=%d skew=%.3f rh=%.3f "
-                  "win=%.6g ep=%d dvfs=%016llx",
-                  cfg.numCores, static_cast<int>(cfg.execMode),
-                  cfg.numControllers, cfg.banksPerController,
-                  cfg.busBurstCycles, cfg.corePower.dynMax,
-                  cfg.corePower.staticPower, cfg.corePower.stallFactor,
-                  cfg.memPower.accessEnergy, cfg.memPower.interfaceMax,
-                  cfg.memPower.mcMax, cfg.memPower.staticPower,
-                  cfg.backgroundPower, static_cast<int>(cfg.interleave),
-                  cfg.skewHotFraction, cfg.rowHitRate,
-                  cfg.profileWindow, epochs,
-                  static_cast<unsigned long long>(dvfsKey(cfg)));
-    return std::string(buf);
-}
-
 std::map<std::string, Watts> &
 cache()
 {
@@ -100,13 +71,49 @@ cacheMutex()
 
 } // namespace
 
+std::string
+peakPowerCacheKey(const SimConfig &cfg, int epochs)
+{
+    // Measure-then-format: a fixed buffer would silently truncate on
+    // extreme-magnitude config values (e.g. %.3f of a 1e300 dynMax
+    // expands past 300 characters), merging distinct configs into one
+    // cache entry and corrupting paired-seed sweep determinism.
+    const char *fmt_str =
+        "n=%d mode=%d ctrl=%d banks=%d burst=%.4f "
+        "cdyn=%.3f cst=%.3f sf=%.3f ae=%.3g if=%.3f mc=%.3f "
+        "mst=%.3f bg=%.3f il=%d skew=%.3f rh=%.3f "
+        "win=%.6g ep=%d dvfs=%016llx";
+    const auto format = [&](char *buf, std::size_t size) {
+        return std::snprintf(
+            buf, size, fmt_str, cfg.numCores,
+            static_cast<int>(cfg.execMode), cfg.numControllers,
+            cfg.banksPerController, cfg.busBurstCycles,
+            cfg.corePower.dynMax, cfg.corePower.staticPower,
+            cfg.corePower.stallFactor, cfg.memPower.accessEnergy,
+            cfg.memPower.interfaceMax, cfg.memPower.mcMax,
+            cfg.memPower.staticPower, cfg.backgroundPower,
+            static_cast<int>(cfg.interleave), cfg.skewHotFraction,
+            cfg.rowHitRate, cfg.profileWindow, epochs,
+            static_cast<unsigned long long>(dvfsKey(cfg)));
+    };
+    const int needed = format(nullptr, 0);
+    if (needed < 0)
+        fatal("peakPowerCacheKey: snprintf failed");
+    std::string key(static_cast<std::size_t>(needed), '\0');
+    const int written = format(&key[0], key.size() + 1);
+    if (written != needed)
+        fatal("peakPowerCacheKey: inconsistent snprintf sizing "
+              "(%d vs %d)", written, needed);
+    return key;
+}
+
 Watts
 measuredPeakPower(const SimConfig &cfg, int epochs)
 {
     // Serializing the whole measurement keeps concurrent first
     // callers from duplicating work; cache hits only pay the lock.
     std::lock_guard<std::mutex> lock(cacheMutex());
-    const std::string key = cacheKey(cfg, epochs);
+    const std::string key = peakPowerCacheKey(cfg, epochs);
     auto it = cache().find(key);
     if (it != cache().end())
         return it->second;

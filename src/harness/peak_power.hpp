@@ -14,10 +14,23 @@
 #ifndef FASTCAP_HARNESS_PEAK_POWER_HPP
 #define FASTCAP_HARNESS_PEAK_POWER_HPP
 
+#include <string>
+
 #include "sim/config.hpp"
 #include "util/units.hpp"
 
 namespace fastcap {
+
+/**
+ * Memoization key over every configuration field that influences the
+ * measurement: power parameters, topology, DVFS ladders/voltages, and
+ * the sampling window. Determinism of parallel sweeps rests on this
+ * key being complete and collision-free — two configs that measure
+ * differently must never share an entry, so the key is built at
+ * whatever length the values demand (never truncated). Exposed for
+ * the regression tests; callers want measuredPeakPower().
+ */
+std::string peakPowerCacheKey(const SimConfig &cfg, int epochs = 3);
 
 /**
  * Observed peak full-system power for a configuration.

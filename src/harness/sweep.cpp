@@ -369,6 +369,7 @@ SweepResult::writeJson(std::FILE *out) const
             "\"workload\": \"%s\", %s\"policy\": \"%s\", "
             "\"budget\": %s, \"replicate\": %d, \"seed\": \"%s\", "
             "\"epochs\": %zu, \"all_completed\": %s, "
+            "\"saturated_epochs\": %d, "
             "\"peak_w\": %s, \"budget_w\": %s, \"avg_power_w\": %s, "
             "\"avg_power_frac\": %s, \"max_epoch_frac\": %s, "
             "\"makespan_s\": %s, \"mean_tpi_ns\": %s}%s\n",
@@ -379,6 +380,7 @@ SweepResult::writeJson(std::FILE *out) const
             fmt(r.point.budgetFraction).c_str(), r.point.replicate,
             fmtSeed(r.point.seed).c_str(), res.epochs.size(),
             res.allCompleted() ? "true" : "false",
+            res.saturatedEpochs(),
             fmt(res.peakPower).c_str(), fmt(res.budget).c_str(),
             fmt(res.averagePower()).c_str(),
             fmt(res.averagePowerFraction()).c_str(),
@@ -430,6 +432,7 @@ SweepRunner::runOne(const SweepGrid &grid, std::size_t run_index)
     ecfg.budgetFraction = run.point.budgetFraction;
     ecfg.targetInstructions = grid.targetInstructions;
     ecfg.maxEpochs = grid.maxEpochs;
+    ecfg.solver = grid.solver;
     if (grid.hasScenarioAxis())
         ecfg.scenario = grid.scenarios[run.point.scenarioIdx];
 

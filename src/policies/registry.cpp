@@ -13,10 +13,16 @@ namespace fastcap {
 std::unique_ptr<CappingPolicy>
 makePolicy(const std::string &name)
 {
+    return makePolicy(name, SolverOptions{});
+}
+
+std::unique_ptr<CappingPolicy>
+makePolicy(const std::string &name, const SolverOptions &opts)
+{
     if (name == "FastCap")
-        return std::make_unique<FastCapPolicy>();
+        return std::make_unique<FastCapPolicy>(opts);
     if (name == "CPU-only")
-        return std::make_unique<CpuOnlyPolicy>();
+        return std::make_unique<CpuOnlyPolicy>(opts);
     if (name == "Uncapped")
         return std::make_unique<UncappedPolicy>();
     if (name == "Freq-Par")

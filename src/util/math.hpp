@@ -18,8 +18,21 @@ struct RootResult
 {
     double x = 0.0;        //!< located root (or best bracket midpoint)
     double fx = 0.0;       //!< residual f(x)
-    int iterations = 0;    //!< iterations consumed
+    /**
+     * Function evaluations consumed, counted in every return path
+     * (endpoint pre-checks included) so callers can meter cost even
+     * when the solve exits before the main loop.
+     */
+    int iterations = 0;
     bool converged = false;
+    /**
+     * The solve clamped to a bracket endpoint whose residual exceeds
+     * tol_f: no root lies inside [lo, hi]. Distinguishes a genuine
+     * root at an endpoint (converged, !saturated) from a solve pinned
+     * against the bracket (converged, saturated, |fx| large) — e.g. a
+     * power budget below the platform's floor power.
+     */
+    bool saturated = false;
 };
 
 /**
@@ -42,9 +55,26 @@ RootResult bisect(const std::function<double(double)> &f,
                   int max_iter = 200);
 
 /**
+ * bisect() for callers that have already evaluated the bracket
+ * endpoints (flo = f(lo), fhi = f(hi)): identical iterate sequence —
+ * and therefore a bit-identical root — without re-evaluating them.
+ * Requires lo <= hi. The returned `iterations` counts only the
+ * midpoint evaluations made here; add your own endpoint cost.
+ */
+RootResult bisectWithEndpoints(const std::function<double(double)> &f,
+                               double lo, double flo,
+                               double hi, double fhi,
+                               double tol_x = 1e-12,
+                               double tol_f = 1e-9,
+                               int max_iter = 200);
+
+/**
  * Solve f(x) = 0 for a *monotonically increasing* f on [lo, hi],
  * clamping to the endpoints when the root lies outside the bracket:
- * returns lo if f(lo) > 0, hi if f(hi) < 0.
+ * returns lo if f(lo) > 0, hi if f(hi) < 0. A clamped solve whose
+ * endpoint residual exceeds tol_f reports saturated = true (still
+ * converged: the clamp IS the answer for a monotone f, but it is not
+ * a root and callers must not treat the residual as small).
  *
  * This is the shape of FastCap's inner solve: total power is
  * increasing in the performance factor D, and budgets above/below the

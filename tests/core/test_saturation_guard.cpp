@@ -77,6 +77,57 @@ TEST(SaturationGuard, FullSaturationReturnsTopIndex)
               in.memRatios.size() - 1);
 }
 
+// Regression (ISSUE 4): when no level satisfies the utilisation cap
+// the function returns the top index as a *clamp* — previously
+// indistinguishable from the top index being genuinely admissible,
+// so the solver quietly optimised outside the model's validity
+// domain. The out-parameter makes the clamp observable.
+TEST(SaturationGuard, ClampIsReported)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 10e9;
+    bool clamped = false;
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.9, &clamped),
+              in.memRatios.size() - 1);
+    EXPECT_TRUE(clamped);
+}
+
+TEST(SaturationGuard, AdmissibleLevelsAreNotReportedAsClamped)
+{
+    PolicyInputs in = baseInputs();
+    bool clamped = true;
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.9, &clamped), 0u);
+    EXPECT_FALSE(clamped);
+
+    // Heavy-but-servable traffic raises the floor without clamping.
+    in.memory.controllers[0].arrivalRate = 300e6;
+    clamped = true;
+    EXPECT_GT(minMemIndexForUtilisation(in, 0.9, &clamped), 0u);
+    EXPECT_FALSE(clamped);
+
+    // Guard disabled: no floor at all, and never a clamp.
+    in.memory.controllers[0].arrivalRate = 10e9;
+    clamped = true;
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.0, &clamped), 0u);
+    EXPECT_FALSE(clamped);
+}
+
+TEST(SaturationGuard, SolveResultRecordsTheClamp)
+{
+    PolicyInputs in = baseInputs();
+    in.memory.controllers[0].arrivalRate = 10e9;
+    Logger::global().level(LogLevel::Silent);
+    FastCapSolver solver(in);
+    const SolveResult res = solver.solve();
+    Logger::global().level(LogLevel::Warn);
+    EXPECT_TRUE(res.utilisationClamped);
+    EXPECT_EQ(res.memIndex, in.memRatios.size() - 1);
+
+    PolicyInputs ok = baseInputs();
+    FastCapSolver clean(ok);
+    EXPECT_FALSE(clean.solve().utilisationClamped);
+}
+
 TEST(SaturationGuard, AnyControllerCanRaiseTheFloor)
 {
     PolicyInputs in = baseInputs();
@@ -90,11 +141,14 @@ TEST(SaturationGuard, AnyControllerCanRaiseTheFloor)
 
 TEST(SaturationGuard, DisabledByNonPositiveCap)
 {
+    // Regression (ISSUE 4 review): cap <= 0 used to return the TOP
+    // index — pinning memory at max frequency, the opposite of
+    // "guard disabled" and of the SolverOptions documentation. Off
+    // means off: no floor, whole ladder searchable.
     PolicyInputs in = baseInputs();
     in.memory.controllers[0].arrivalRate = 10e9;
-    EXPECT_EQ(minMemIndexForUtilisation(in, 0.0),
-              in.memRatios.size() - 1)
-        << "cap <= 0 pins to the top (most conservative)";
+    EXPECT_EQ(minMemIndexForUtilisation(in, 0.0), 0u)
+        << "cap <= 0 disables the validity-domain floor";
 }
 
 TEST(SaturationGuard, SolverRespectsFloor)

@@ -140,6 +140,87 @@ TEST_P(SolverFuzz, InvariantsHold)
         << "seed " << GetParam();
 }
 
+/**
+ * Force `distinct` equivalence classes onto randomized inputs:
+ * `distinct == 0` leaves the all-random (typically all-distinct)
+ * scenario untouched; otherwise cores cycle through the first
+ * `distinct` prototypes, covering the degenerate single-class and
+ * few-class shapes the hot path collapses hardest.
+ */
+PolicyInputs
+randomClassedInputs(std::uint64_t seed, std::size_t distinct)
+{
+    PolicyInputs in = randomInputs(seed);
+    if (distinct == 0)
+        return in;
+    for (std::size_t i = 0; i < in.cores.size(); ++i) {
+        in.cores[i] = in.cores[i % distinct];
+        in.accessProbs[i] = in.accessProbs[i % distinct];
+    }
+    return in;
+}
+
+/**
+ * ISSUE 4 hard constraint: the optimised hot path (equivalence-class
+ * SoA inner solve + binary memory search + warm start) must produce
+ * a SolveResult bit-identical to the per-core exhaustive reference —
+ * on heterogeneous inputs, degenerate single-class and all-distinct
+ * inputs, and under socket budgets. EXPECT_EQ on doubles below is
+ * deliberate: bit equality, not tolerance.
+ */
+TEST_P(SolverFuzz, OptimisedPathBitIdenticalToExhaustiveReference)
+{
+    const std::uint64_t seed = GetParam();
+    for (const std::size_t distinct :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+        const PolicyInputs in = randomClassedInputs(seed, distinct);
+
+        SolverOptions opt_opts; // optimised: classes + binary search
+        SolverOptions ref_opts; // reference: per-core + full scan
+        ref_opts.referenceImpl = true;
+        ref_opts.exhaustiveMemSearch = true;
+        if (seed % 3 == 0) {
+            // Exercise the socket constraint path on a third of the
+            // corpus (both paths must agree there too).
+            const std::size_t half = in.cores.size() / 2;
+            if (half > 0 && in.cores.size() > half) {
+                opt_opts.socketBudgets = {
+                    {0, half, in.budget * 0.6},
+                    {half, in.cores.size() - half, in.budget * 0.6}};
+                ref_opts.socketBudgets = opt_opts.socketBudgets;
+            }
+        }
+        if (seed % 2 == 0) {
+            // Warm hints must never change the answer, only the cost.
+            opt_opts.warmStart.valid = true;
+            opt_opts.warmStart.memIndex = seed % 10;
+        }
+
+        FastCapSolver optimised(in, opt_opts);
+        FastCapSolver reference(in, ref_opts);
+        const SolveResult a = optimised.solve();
+        const SolveResult b = reference.solve();
+
+        const std::string ctx = "seed " + std::to_string(seed) +
+            " distinct " + std::to_string(distinct);
+        ASSERT_EQ(a.memIndex, b.memIndex) << ctx;
+        ASSERT_EQ(a.best.d, b.best.d) << ctx;
+        ASSERT_EQ(a.best.memRatio, b.best.memRatio) << ctx;
+        ASSERT_EQ(a.best.predictedPower, b.best.predictedPower)
+            << ctx;
+        ASSERT_EQ(a.best.budgetFeasible, b.best.budgetFeasible)
+            << ctx;
+        ASSERT_EQ(a.best.saturatedLow, b.best.saturatedLow) << ctx;
+        ASSERT_EQ(a.best.saturatedHigh, b.best.saturatedHigh) << ctx;
+        ASSERT_EQ(a.best.coreRatios.size(), b.best.coreRatios.size())
+            << ctx;
+        for (std::size_t i = 0; i < a.best.coreRatios.size(); ++i)
+            ASSERT_EQ(a.best.coreRatios[i], b.best.coreRatios[i])
+                << ctx << " core " << i;
+        ASSERT_EQ(a.utilisationClamped, b.utilisationClamped) << ctx;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
                          ::testing::Range<std::uint64_t>(1, 41));
 

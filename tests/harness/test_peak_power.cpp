@@ -90,6 +90,43 @@ TEST(PeakPower, SamplingWindowIsPartOfTheCacheKey)
     EXPECT_NE(a, b) << "longer windows observe different peaks";
 }
 
+// Regression (ISSUE 4): the key used to be formatted into a fixed
+// char[320] with snprintf's return value ignored. Extreme-magnitude
+// values (%.3f of a 1e300 dynMax expands past 300 characters) pushed
+// later fields off the end, so configs differing only in a truncated
+// field silently merged into one cache entry — corrupting paired-seed
+// sweep determinism. The key is now built at whatever length the
+// values demand.
+TEST(PeakPower, CacheKeyNeverTruncates)
+{
+    SimConfig a = SimConfig::defaultConfig(4);
+    a.corePower.dynMax = 1e300; // ~305 characters as %.3f
+    SimConfig b = a;
+    b.profileWindow = a.profileWindow * 2.0; // formatted after dynMax
+
+    const std::string ka = peakPowerCacheKey(a);
+    const std::string kb = peakPowerCacheKey(b);
+    EXPECT_GT(ka.size(), 320u)
+        << "the old fixed buffer would have cut this key short";
+    EXPECT_NE(ka, kb)
+        << "fields past the old 320-char horizon must still "
+           "distinguish configs";
+    // The full field list survives to the end of the key.
+    EXPECT_NE(ka.find("dvfs="), std::string::npos);
+    EXPECT_NE(kb.find("dvfs="), std::string::npos);
+}
+
+TEST(PeakPower, CacheKeyDistinguishesOrdinaryConfigs)
+{
+    const SimConfig base = SimConfig::defaultConfig(8);
+    SimConfig other = base;
+    other.rowHitRate = base.rowHitRate * 0.5;
+    EXPECT_NE(peakPowerCacheKey(base), peakPowerCacheKey(other));
+    EXPECT_NE(peakPowerCacheKey(base, 3), peakPowerCacheKey(base, 5))
+        << "measurement epochs are part of the key";
+    EXPECT_EQ(peakPowerCacheKey(base), peakPowerCacheKey(base));
+}
+
 TEST(PeakPower, PaperBandAt16Cores)
 {
     // Paper: 120 W at 16 cores. Our calibration lands in the same

@@ -70,6 +70,99 @@ TEST(SolveMonotone, FindsInteriorRoot)
     EXPECT_NEAR(r.x, 3.0, 1e-8);
 }
 
+// Regression (ISSUE 4): endpoint convergence used to leave
+// iterations == 0 even though the solve evaluated f, so callers
+// metering cost could not tell a solved bracket from one never run.
+TEST(Bisect, EndpointConvergenceCountsEvaluations)
+{
+    const auto at_lo = [](double x) { return x - 1.0; };
+    const RootResult lo = bisect(at_lo, 1.0, 5.0);
+    EXPECT_TRUE(lo.converged);
+    EXPECT_EQ(lo.iterations, 1) << "f(lo) was evaluated";
+
+    const auto at_hi = [](double x) { return x - 5.0; };
+    const RootResult hi = bisect(at_hi, 1.0, 5.0);
+    EXPECT_TRUE(hi.converged);
+    EXPECT_EQ(hi.iterations, 2) << "f(lo) and f(hi) were evaluated";
+
+    const auto no_sign = [](double x) { return x * x + 1.0; };
+    const RootResult ns = bisect(no_sign, -1.0, 1.0);
+    EXPECT_FALSE(ns.converged);
+    EXPECT_EQ(ns.iterations, 2);
+}
+
+TEST(Bisect, InteriorRootCountsAllEvaluations)
+{
+    int calls = 0;
+    const auto f = [&calls](double x) {
+        ++calls;
+        return x - 3.0;
+    };
+    const RootResult r = bisect(f, 0.0, 10.0, 1e-12, 1e-12);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, calls)
+        << "iterations must equal the evaluations consumed";
+    EXPECT_GT(r.iterations, 2);
+}
+
+// Regression (ISSUE 4): saturated endpoints used to report
+// converged=true with a large residual, indistinguishable from a
+// genuine root. The saturated flag makes infeasibility explicit.
+TEST(SolveMonotone, FlagsSaturatedLowEndpoint)
+{
+    const auto f = [](double x) { return x + 50.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.saturated) << "residual 50 at the clamp";
+    EXPECT_DOUBLE_EQ(r.x, 0.0);
+    EXPECT_EQ(r.iterations, 1);
+}
+
+TEST(SolveMonotone, FlagsSaturatedHighEndpoint)
+{
+    const auto f = [](double x) { return x - 100.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_DOUBLE_EQ(r.x, 10.0);
+    EXPECT_EQ(r.iterations, 2);
+}
+
+TEST(SolveMonotone, GenuineEndpointRootIsNotSaturated)
+{
+    // f(lo) = 0 exactly: the clamp and the root coincide; this is a
+    // solution, not a saturation diagnostic.
+    const auto f = [](double x) { return x; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(SolveMonotone, InteriorRootIsNotSaturated)
+{
+    const auto f = [](double x) { return x - 4.0; };
+    const RootResult r = solveMonotone(f, 0.0, 10.0);
+    EXPECT_TRUE(r.converged);
+    EXPECT_FALSE(r.saturated);
+    EXPECT_NEAR(r.x, 4.0, 1e-8);
+}
+
+TEST(BisectWithEndpoints, MatchesBisectBitForBit)
+{
+    const auto f = [](double x) { return std::cos(x) - x; };
+    const double lo = 0.0, hi = 2.0;
+    const RootResult plain = bisect(f, lo, hi, 1e-14, 1e-15);
+    const RootResult seeded = bisectWithEndpoints(
+        f, lo, f(lo), hi, f(hi), 1e-14, 1e-15);
+    EXPECT_EQ(plain.x, seeded.x)
+        << "identical iterate sequence, identical bits";
+    EXPECT_EQ(plain.fx, seeded.fx);
+    EXPECT_EQ(plain.converged, seeded.converged);
+    // Only the endpoint evaluations differ in the accounting.
+    EXPECT_EQ(plain.iterations, seeded.iterations + 2);
+}
+
 TEST(FitLinear, ExactTwoPointFit)
 {
     const std::vector<double> xs{1.0, 3.0};

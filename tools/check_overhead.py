@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Guard the solver hot path against perf regressions.
+
+Compares a fresh ``bench_overhead`` Google-Benchmark JSON dump against
+the committed baseline (``bench/overhead_baseline.json``):
+
+1. **Speedup ratios** (machine-portable, the primary gate): for every
+   core count present in both files, the optimised-vs-reference
+   speedup ``BM_Solve<mix>Reference/N / BM_Solve<mix>/N`` must not
+   fall below ``1/allowed_regression`` of the baseline speedup. A
+   faster or slower host scales both sides, so this catches real
+   hot-path regressions without flaking on runner hardware.
+2. **Absolute per-epoch time** (informational unless wildly off): the
+   optimised solve must stay under ``absolute_slack`` x the baseline
+   absolute time, a loose bound that still catches pathological
+   regressions (e.g. an accidental O(N^2) path) on comparable
+   hardware.
+
+Usage:
+    check_overhead.py CURRENT.json BASELINE.json [--regression 2.0]
+                      [--absolute-slack 10.0]
+
+Exits non-zero on regression; prints a per-benchmark table either way.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    """Map benchmark name -> real_time in ns from a gbench JSON."""
+    with open(path) as f:
+        data = json.load(f)
+    unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = (
+            bench["real_time"] * unit_ns[bench.get("time_unit", "ns")]
+        )
+    return times
+
+
+def speedups(times):
+    """Map 'Homogeneous/256'-style keys -> reference/optimised ratio."""
+    out = {}
+    for name, t in times.items():
+        if "Reference" not in name:
+            continue
+        base = name.replace("Reference", "")
+        if base in times and times[base] > 0:
+            key = base.replace("BM_Solve", "")
+            out[key] = t / times[base]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--regression",
+        type=float,
+        default=2.0,
+        help="fail if speedup drops below baseline/REGRESSION "
+        "or absolute time grows past baseline*REGRESSION "
+        "(default 2.0, the perf-smoke gate)",
+    )
+    ap.add_argument(
+        "--absolute-slack",
+        type=float,
+        default=10.0,
+        help="extra multiplier on the absolute-time bound to absorb "
+        "hardware differences between runners (default 10.0)",
+    )
+    args = ap.parse_args()
+
+    cur = load_times(args.current)
+    base = load_times(args.baseline)
+    cur_speed = speedups(cur)
+    base_speed = speedups(base)
+
+    failures = []
+    print(f"{'benchmark':<28} {'baseline':>10} {'current':>10} verdict")
+    for key in sorted(base_speed):
+        if key not in cur_speed:
+            failures.append(f"missing benchmark pair for {key}")
+            continue
+        floor = base_speed[key] / args.regression
+        ok = cur_speed[key] >= floor
+        print(
+            f"speedup {key:<20} {base_speed[key]:>9.1f}x "
+            f"{cur_speed[key]:>9.1f}x "
+            f"{'ok' if ok else f'REGRESSED (floor {floor:.1f}x)'}"
+        )
+        if not ok:
+            failures.append(
+                f"{key}: speedup {cur_speed[key]:.1f}x below "
+                f"{floor:.1f}x (baseline {base_speed[key]:.1f}x)"
+            )
+
+    for name in sorted(base):
+        if "Reference" in name or name not in cur:
+            continue
+        bound = base[name] * args.regression * args.absolute_slack
+        ok = cur[name] <= bound
+        print(
+            f"time    {name:<20} {base[name] / 1e3:>9.1f}u "
+            f"{cur[name] / 1e3:>9.1f}u "
+            f"{'ok' if ok else f'REGRESSED (bound {bound / 1e3:.1f}u)'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {cur[name] / 1e3:.1f}us exceeds "
+                f"{bound / 1e3:.1f}us"
+            )
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nOK: solver hot path within perf envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

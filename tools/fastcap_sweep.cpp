@@ -199,6 +199,13 @@ main(int argc, char **argv)
     args.addFlag("paired-seeds",
                  "runs differing only in policy/budget share a seed "
                  "(for normalized comparisons)");
+    args.addFlag("reference-solver",
+                 "run the per-core reference solver instead of the "
+                 "equivalence-class hot path (validation; results "
+                 "are bit-identical either way)");
+    args.addFlag("exhaustive-mem-search",
+                 "scan every memory level instead of Algorithm 1's "
+                 "binary search (validation)");
     args.addInt("threads", 0, "worker threads (0 = hardware)");
     args.addString("csv", "", "write run CSV to this file "
                               "(default: stdout)");
@@ -215,7 +222,8 @@ main(int argc, char **argv)
                 "workloads", "classes",      "policies",
                 "budgets",   "cores",        "replicates",
                 "instructions", "max-epochs", "seed",
-                "paired-seeds", "scenario",   "scenario-file"};
+                "paired-seeds", "scenario",   "scenario-file",
+                "reference-solver", "exhaustive-mem-search"};
             bool ok = false;
             for (const char *k : known)
                 ok = ok || kv.first == k;
@@ -270,10 +278,15 @@ main(int argc, char **argv)
         if (seed != 0)
             grid.baseSeed = seed;
         // The flag form is boolean-valued, the spec form true/false.
-        grid.pairSeedsAcrossPolicies =
-            args.getFlag("paired-seeds") ||
-            (spec.count("paired-seeds") &&
-             parseBool(spec.at("paired-seeds"), "paired-seeds"));
+        const auto boolOption = [&](const char *name) {
+            return args.getFlag(name) ||
+                   (spec.count(name) &&
+                    parseBool(spec.at(name), name));
+        };
+        grid.pairSeedsAcrossPolicies = boolOption("paired-seeds");
+        grid.solver.referenceImpl = boolOption("reference-solver");
+        grid.solver.exhaustiveMemSearch =
+            boolOption("exhaustive-mem-search");
 
         // Scenario axis: a file of named scenarios, or one inline
         // spec. Omitting both keeps the implicit constant scenario
