@@ -23,7 +23,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
+
 #include "util/logging.hpp"
+#include "util/math.hpp"
 
 #include "bench_inputs.hpp"
 #include "core/fastcap_policy.hpp"
@@ -130,7 +137,8 @@ BENCHMARK(BM_EpochDecisionWarm)->Arg(64)->Arg(256)->Arg(1024)
 void
 BM_ModelRefit(benchmark::State &state)
 {
-    // The per-epoch Eq. 2/3 refit cost for N cores.
+    // The per-epoch Eq. 2/3 refit cost for N cores on the
+    // incremental (rank-1 moment update) tracker.
     const auto n = static_cast<std::size_t>(state.range(0));
     ModelFitter fitter(n);
     double x = 1.0;
@@ -142,7 +150,73 @@ BM_ModelRefit(benchmark::State &state)
         x = (x == 1.0) ? 0.775 : (x == 0.775 ? 0.55 : 1.0);
     }
 }
-BENCHMARK(BM_ModelRefit)->Arg(16)->Arg(64)
+BENCHMARK(BM_ModelRefit)->Arg(16)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * The pre-incremental refit as the comparison baseline: a
+ * from-scratch log-log fitPowerLaw over the 3-deep history on every
+ * observation — what each epoch paid per core before the tracker
+ * kept running moments. The BM_ModelRefit/BM_ModelRefitReference
+ * ratio is the non-solver epoch-overhead drop the perf-smoke job
+ * tracks.
+ */
+void
+BM_ModelRefitReference(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    struct BatchTracker
+    {
+        std::deque<std::pair<double, double>> history;
+        FittedModel model;
+
+        void
+        observe(double ratio, double power)
+        {
+            for (auto &s : history) {
+                if (std::abs(s.first - ratio) <= 1e-6) {
+                    s.second = 0.5 * s.second + 0.5 * power;
+                    refit();
+                    return;
+                }
+            }
+            history.emplace_back(ratio, power);
+            while (history.size() > 3)
+                history.pop_front();
+            refit();
+        }
+
+        void
+        refit()
+        {
+            if (history.size() < 2) {
+                model.scale = history.front().second /
+                    std::pow(history.front().first, 2.5);
+                return;
+            }
+            std::vector<double> xs, ys;
+            for (const auto &s : history) {
+                xs.push_back(s.first);
+                ys.push_back(s.second);
+            }
+            const PowerLawFit fit = fitPowerLaw(xs, ys);
+            model.scale = fit.scale;
+            model.exponent = std::clamp(fit.exponent, 0.3, 4.0);
+        }
+    };
+
+    std::vector<BatchTracker> cores(n);
+    BatchTracker mem;
+    double x = 1.0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            cores[i].observe(x, 3.0 * x * x * x + 0.01);
+        mem.observe(x, 12.0 * x);
+        benchmark::DoNotOptimize(cores[n - 1].model);
+        x = (x == 1.0) ? 0.775 : (x == 0.775 ? 0.55 : 1.0);
+    }
+}
+BENCHMARK(BM_ModelRefitReference)->Arg(16)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
 
 } // namespace

@@ -1,8 +1,10 @@
 #include "core/fastcap_policy.hpp"
 
 #include <cmath>
+#include <unordered_map>
 
 #include "util/logging.hpp"
+#include "util/math.hpp"
 
 namespace fastcap {
 
@@ -36,9 +38,19 @@ mapToLadders(const PolicyInputs &inputs, const InnerSolution &sol,
     dec.predictedPower = sol.predictedPower;
     dec.budgetSaturated = sol.saturatedLow || !sol.budgetFeasible;
     dec.coreFreqIdx.reserve(inputs.cores.size());
-    for (double x : sol.coreRatios)
-        dec.coreFreqIdx.push_back(
-            closestRatioIndex(inputs.coreRatios, x));
+    // The solver emits one ratio per equivalence class (cores of a
+    // class share their x(D) bit-for-bit), so the ladder walk runs
+    // once per distinct ratio bit pattern and fans out to the cores.
+    // Keyed on the exact bits — the same rule the solver classes use —
+    // so the mapped index per core is identical to a per-core walk.
+    std::unordered_map<std::uint64_t, std::size_t> mapped;
+    mapped.reserve(16);
+    for (double x : sol.coreRatios) {
+        const auto [it, inserted] = mapped.emplace(doubleBits(x), 0);
+        if (inserted)
+            it->second = closestRatioIndex(inputs.coreRatios, x);
+        dec.coreFreqIdx.push_back(it->second);
+    }
     return dec;
 }
 

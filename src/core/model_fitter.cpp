@@ -21,6 +21,15 @@ PowerLawTracker::PowerLawTracker(double default_exponent,
 }
 
 void
+PowerLawTracker::accumulate(const Sample &s, double sign)
+{
+    _sumLx += sign * s.lx;
+    _sumLy += sign * s.ly;
+    _sumLxx += sign * s.lx * s.lx;
+    _sumLxy += sign * s.lx * s.ly;
+}
+
+void
 PowerLawTracker::observe(double ratio, Watts dyn_power)
 {
     if (ratio <= 0.0 || ratio > 1.0 + 1e-9) {
@@ -39,12 +48,22 @@ PowerLawTracker::observe(double ratio, Watts dyn_power)
                              });
     if (same != _history.end()) {
         // Refresh: smooth toward the new measurement so stale samples
-        // at the same frequency do not fossilise.
+        // at the same frequency do not fossilise. Rank-1 moment swap:
+        // the old log-power contributions leave, the smoothed ones
+        // enter; lx is unchanged.
+        accumulate(*same, -1.0);
         same->power = 0.5 * same->power + 0.5 * dyn_power;
+        same->ly = std::log(same->power);
+        accumulate(*same, +1.0);
     } else {
-        _history.push_back(Sample{ratio, dyn_power});
-        while (_history.size() > _historyLimit)
+        Sample s{ratio, dyn_power, std::log(ratio),
+                 std::log(dyn_power)};
+        accumulate(s, +1.0);
+        _history.push_back(s);
+        while (_history.size() > _historyLimit) {
+            accumulate(_history.front(), -1.0);
             _history.pop_front();
+        }
     }
     refit();
 }
@@ -65,28 +84,31 @@ PowerLawTracker::refit()
         return;
     }
 
-    std::vector<double> xs, ys;
-    xs.reserve(_history.size());
-    ys.reserve(_history.size());
-    for (const Sample &s : _history) {
-        xs.push_back(s.ratio);
-        ys.push_back(s.power);
-    }
-    const PowerLawFit fit = fitPowerLaw(xs, ys);
-    if (!fit.valid) {
-        // Degenerate (all ratios equal): fall back to bootstrap on
-        // the freshest sample.
+    // O(1) log-log least squares from the running moments: the same
+    // normal equations fitPowerLaw solves, with centered statistics
+    // recovered from the raw sums instead of a two-pass sweep.
+    const double n = static_cast<double>(_history.size());
+    const double mx = _sumLx / n;
+    const double my = _sumLy / n;
+    const double sxx = _sumLxx - n * mx * mx;
+    const double sxy = _sumLxy - n * mx * my;
+    if (!(sxx > 0.0)) {
+        // Degenerate x-spread (cannot happen with the distinct-ratio
+        // history invariant, but rounding is not a proof): fall back
+        // to bootstrap on the freshest sample, as the batch fit does
+        // for all-equal ratios.
         const Sample &s = _history.back();
         _model.scale = s.power / std::pow(s.ratio, _defaultExponent);
         _model.exponent = _defaultExponent;
         _model.fromFit = false;
         return;
     }
+    const double slope = sxy / sxx;
+    const double intercept = my - slope * mx;
 
-    _model.exponent =
-        std::clamp(fit.exponent, _minExponent, _maxExponent);
-    if (approxEqual(_model.exponent, fit.exponent)) {
-        _model.scale = fit.scale;
+    _model.exponent = std::clamp(slope, _minExponent, _maxExponent);
+    if (approxEqual(_model.exponent, slope)) {
+        _model.scale = std::exp(intercept);
     } else {
         // Exponent clamped: re-anchor the scale on the freshest
         // sample so predictions stay close to recent reality.

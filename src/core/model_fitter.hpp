@@ -54,6 +54,16 @@ class PowerLawTracker
      * Record a (frequency ratio, dynamic power) observation. A repeat
      * of an already-tracked ratio refreshes that entry (exponential
      * smoothing) instead of consuming a history slot.
+     *
+     * The log-log least-squares state is maintained *incrementally*:
+     * each observation performs a rank-1 update of the running moments
+     * (add the new sample's log contributions, subtract an evicted or
+     * refreshed sample's old ones), so the per-observation cost is a
+     * couple of std::log calls and O(1) arithmetic — no from-scratch
+     * refit over the history. The recovered parameters agree with a
+     * batch fitPowerLaw over the same history to rounding (enforced
+     * by a tolerance test), not bit-exactly: the moment accumulation
+     * order differs from the batch two-pass formula.
      */
     void observe(double ratio, Watts dyn_power);
 
@@ -69,7 +79,12 @@ class PowerLawTracker
     {
         double ratio;
         Watts power;
+        double lx; //!< log(ratio), cached for the moment updates
+        double ly; //!< log(power), cached for the moment updates
     };
+
+    /** Add (+1) or remove (-1) a sample's log-log moment terms. */
+    void accumulate(const Sample &s, double sign);
 
     double _defaultExponent;
     std::size_t _historyLimit;
@@ -77,6 +92,14 @@ class PowerLawTracker
     double _maxExponent;
     std::deque<Sample> _history;
     FittedModel _model;
+    // Running log-log moments over the history: sum lx, sum ly,
+    // sum lx^2, sum lx*ly. History ratios are pairwise distinct (a
+    // repeat refreshes in place), so with >= 2 samples the centered
+    // x-variance is bounded well away from the accumulated rounding.
+    double _sumLx = 0.0;
+    double _sumLy = 0.0;
+    double _sumLxx = 0.0;
+    double _sumLxy = 0.0;
 };
 
 /**

@@ -11,20 +11,6 @@
 
 namespace fastcap {
 
-namespace {
-
-/** Bit pattern of a double: exact (-0.0 != 0.0) class-key element. */
-std::uint64_t
-bitsOf(double v)
-{
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
-    std::memcpy(&bits, &v, sizeof(bits));
-    return bits;
-}
-
-} // namespace
-
 FastCapSolver::FastCapSolver(const PolicyInputs &inputs,
                              SolverOptions opts)
     : _in(inputs), _opts(std::move(opts)), _queuing(inputs)
@@ -65,13 +51,13 @@ FastCapSolver::buildClasses()
         const CoreModel &c = _in.cores[i];
         key.clear();
         key.reserve(5 + _in.accessProbs[i].size());
-        key.push_back(bitsOf(c.zbar));
-        key.push_back(bitsOf(c.cache));
-        key.push_back(bitsOf(c.pi));
-        key.push_back(bitsOf(c.alpha));
-        key.push_back(bitsOf(c.pStatic));
+        key.push_back(doubleBits(c.zbar));
+        key.push_back(doubleBits(c.cache));
+        key.push_back(doubleBits(c.pi));
+        key.push_back(doubleBits(c.alpha));
+        key.push_back(doubleBits(c.pStatic));
         for (double p : _in.accessProbs[i])
-            key.push_back(bitsOf(p));
+            key.push_back(doubleBits(p));
 
         const auto [it, inserted] = ids.emplace(
             key, static_cast<std::uint32_t>(_classRep.size()));
@@ -197,20 +183,55 @@ FastCapSolver::classMaxD() const
 }
 
 void
+FastCapSolver::classTermAt(double d, std::uint32_t c) const
+{
+    const Seconds z = _classMinT[c] / d - _classCache[c] - _classR[c];
+    double x = 1.0;
+    if (z > _classZbar[c])
+        x = std::max(_classZbar[c] / z, _minCoreRatio);
+    _classRatio[c] = x;
+    _classPowTerm[c] = _classPi[c] * std::pow(x, _classAlpha[c]);
+}
+
+void
 FastCapSolver::classTermsAtD(double d) const
 {
     // The only transcendental work per probe: one pow per class.
-    // Arithmetic mirrors coreRatioAtD()/powerAtD() exactly so each
-    // class term carries the same bits as its per-core counterpart.
-    for (std::size_t c = 0; c < _classRep.size(); ++c) {
-        const Seconds z = _classMinT[c] / d - _classCache[c] -
-            _classR[c];
-        double x = 1.0;
-        if (z > _classZbar[c])
-            x = std::max(_classZbar[c] / z, _minCoreRatio);
-        _classRatio[c] = x;
-        _classPowTerm[c] = _classPi[c] * std::pow(x, _classAlpha[c]);
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(_classRep.size()); ++c)
+        classTermAt(d, c);
+}
+
+void
+FastCapSolver::classTermsAtDFor(
+    double d, const std::vector<std::uint32_t> &subset) const
+{
+    // Restricted to one socket's classes; entries are bit-equal to a
+    // full recompute because both paths run the same classTermAt.
+    for (const std::uint32_t c : subset)
+        classTermAt(d, c);
+}
+
+const std::vector<std::uint32_t> &
+FastCapSolver::socketClasses(std::size_t socket_idx) const
+{
+    if (_socketClasses.size() != _opts.socketBudgets.size())
+        _socketClasses.assign(_opts.socketBudgets.size(), {});
+    std::vector<std::uint32_t> &classes = _socketClasses[socket_idx];
+    if (classes.empty()) {
+        // A validated socket holds >= 1 core, so an empty list means
+        // "not built yet", never "no classes".
+        const SocketBudget &socket = _opts.socketBudgets[socket_idx];
+        std::vector<bool> present(_classRep.size(), false);
+        const std::size_t end = socket.firstCore + socket.numCores;
+        for (std::size_t i = socket.firstCore; i < end; ++i)
+            present[_classOf[i]] = true;
+        for (std::uint32_t c = 0;
+             c < static_cast<std::uint32_t>(present.size()); ++c)
+            if (present[c])
+                classes.push_back(c);
     }
+    return classes;
 }
 
 Watts
@@ -226,10 +247,14 @@ FastCapSolver::classPowerAtD(double d, double mem_term) const
 }
 
 Watts
-FastCapSolver::classSocketPowerAtD(const SocketBudget &socket,
+FastCapSolver::classSocketPowerAtD(std::size_t socket_idx,
+                                   const SocketBudget &socket,
                                    double d) const
 {
-    classTermsAtD(d);
+    classTermsAtDFor(d, socketClasses(socket_idx));
+    // Per-core accumulation in original index order, exactly as the
+    // reference socketPowerAtD sums — the partition above only limits
+    // which pow terms get (re)computed, never the addition sequence.
     Watts p = 0.0;
     const std::size_t end = socket.firstCore + socket.numCores;
     for (std::size_t i = socket.firstCore; i < end; ++i) {
@@ -369,14 +394,15 @@ FastCapSolver::classSolveAtMemRatio(double x_b)
     sol.d = root.x;
     sol.rootIterations = root.iterations;
     applySaturation(sol, root);
-    for (const SocketBudget &socket : _opts.socketBudgets) {
+    for (std::size_t s = 0; s < _opts.socketBudgets.size(); ++s) {
+        const SocketBudget &socket = _opts.socketBudgets[s];
         if (socket.numCores == 0 ||
             socket.firstCore + socket.numCores > _in.cores.size())
             fatal("FastCapSolver: socket budget range [%zu, %zu) out "
                   "of bounds", socket.firstCore,
                   socket.firstCore + socket.numCores);
         const auto socket_residual = [&](double d) {
-            return classSocketPowerAtD(socket, d) - socket.budget;
+            return classSocketPowerAtD(s, socket, d) - socket.budget;
         };
         const RootResult socket_root = solveMonotone(
             socket_residual, d_lo, d_hi, d_hi * _opts.dTolerance,
@@ -410,10 +436,11 @@ FastCapSolver::finishSolution(InnerSolution &sol,
     // on the budget is not misreported as infeasible.
     sol.budgetFeasible =
         sol.predictedPower <= _in.budget * (1.0 + 1e-3);
-    for (const SocketBudget &socket : _opts.socketBudgets) {
+    for (std::size_t s = 0; s < _opts.socketBudgets.size(); ++s) {
+        const SocketBudget &socket = _opts.socketBudgets[s];
         const Watts sp = r_at_xb
             ? socketPowerAtD(socket, sol.d, *r_at_xb)
-            : classSocketPowerAtD(socket, sol.d);
+            : classSocketPowerAtD(s, socket, sol.d);
         if (sp > socket.budget * (1.0 + 1e-3))
             sol.budgetFeasible = false;
     }

@@ -248,11 +248,36 @@ class FastCapSolver
     /** Per-class R(x_b); one queuing evaluation per class. */
     void classResponseTimes(double x_b);
 
+    /**
+     * Ratio and pi*x^alpha of one class at D, written into the
+     * scratch. The single definition of the per-class arithmetic:
+     * both the full and the subset recompute call it, so their
+     * entries are bit-equal by construction (the arithmetic mirrors
+     * coreRatioAtD()/powerAtD() exactly, one pow per call).
+     */
+    void classTermAt(double d, std::uint32_t c) const;
+
     /** Per-class ratio and pi*x^alpha at D (one pow per class). */
     void classTermsAtD(double d) const;
 
+    /**
+     * As classTermsAtD, but only for the classes listed in `subset`
+     * (a socket's partition): socket residual probes evaluate one pow
+     * per class *present in that socket* instead of one per class in
+     * the whole system. Each listed class's term carries the same
+     * bits classTermsAtD would produce, so the per-core accumulation
+     * reading the scratch is unaffected.
+     */
+    void classTermsAtDFor(double d,
+                          const std::vector<std::uint32_t> &subset) const;
+
+    /** Lazily built socket -> classes-present partition. */
+    const std::vector<std::uint32_t> &
+    socketClasses(std::size_t socket_idx) const;
+
     Watts classPowerAtD(double d, double mem_term) const;
-    Watts classSocketPowerAtD(const SocketBudget &socket,
+    Watts classSocketPowerAtD(std::size_t socket_idx,
+                              const SocketBudget &socket,
                               double d) const;
     double classMaxD() const;
     InnerSolution classSolveAtMemRatio(double x_b);
@@ -290,6 +315,13 @@ class FastCapSolver
     std::vector<double> _classR;           //!< R(x_b) per class
     mutable std::vector<double> _classRatio;   //!< x(D) per class
     mutable std::vector<double> _classPowTerm; //!< P_i x^alpha per class
+    /**
+     * Socket index -> ascending class ids present in that socket's
+     * core range. Built lazily at the first socket probe (after the
+     * range checks in the solve loop), so socket residual evaluations
+     * stop paying one pow per class *system-wide*.
+     */
+    mutable std::vector<std::vector<std::uint32_t>> _socketClasses;
 };
 
 } // namespace fastcap

@@ -97,7 +97,9 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
                                    CappingPolicy &policy,
                                    ExperimentConfig cfg)
     : _simCfg(std::move(sim_cfg)),
-      _system(_simCfg, std::move(apps)),
+      _system(makeSimBackend(_simCfg, std::move(apps),
+                             EngineConfig{cfg.shards,
+                                          cfg.shardThreads})),
       _policy(policy), _cfg(std::move(cfg)),
       _fitter(static_cast<std::size_t>(_simCfg.numCores),
               _cfg.linearPowerModel ? 1.0 : 2.5,
@@ -124,7 +126,7 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
     else if (_cfg.measurePeak)
         _peakPower = measuredPeakPower(_simCfg);
     else
-        _peakPower = _system.nameplatePeakPower();
+        _peakPower = _system->nameplatePeakPower();
 
     _policy.reset();
 
@@ -132,7 +134,7 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
     _apps.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
         _apps[static_cast<std::size_t>(i)].app =
-            _system.appOf(i).name();
+            _system->appOf(i).name();
         _apps[static_cast<std::size_t>(i)].core = i;
     }
 
@@ -141,7 +143,7 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
     _lastZbar.resize(static_cast<std::size_t>(n));
     _lastIpa.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-        const Phase &ph = _system.appOf(i).phaseAt(0.0);
+        const Phase &ph = _system->appOf(i).phaseAt(0.0);
         _lastIpa[static_cast<std::size_t>(i)] = ph.instructionsPerMiss();
         _lastZbar[static_cast<std::size_t>(i)] =
             ph.instructionsPerMiss() * ph.cpiExec /
@@ -253,7 +255,7 @@ ExperimentRunner::buildInputs(const WindowStats &w)
         mem_total += ms.totalPower;
     }
     _fitter.observeMemory(
-        _simCfg.memLadder.at(_system.memFreqIndex()) / mem_fmax,
+        _simCfg.memLadder.at(_system->memFreqIndex()) / mem_fmax,
         mem_dyn);
     const FittedModel mm = _fitter.memory();
     in.memory.pm = mm.scale;
@@ -264,7 +266,7 @@ ExperimentRunner::buildInputs(const WindowStats &w)
     in.accessProbs.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         in.accessProbs[i] =
-            _system.accessProbabilities(static_cast<int>(i));
+            _system->accessProbabilities(static_cast<int>(i));
 
     return in;
 }
@@ -282,14 +284,14 @@ ExperimentRunner::applyDecision(const PolicyDecision &dec,
     for (int i = 0; i < _simCfg.numCores; ++i) {
         const std::size_t idx = dec.coreFreqIdx[
             static_cast<std::size_t>(i)];
-        if (idx != _system.coreFreqIndex(i)) {
+        if (idx != _system->coreFreqIndex(i)) {
             core_changed = true;
-            _system.coreFreqIndex(i, idx);
+            _system->coreFreqIndex(i, idx);
         }
     }
-    mem_changed = dec.memFreqIdx != _system.memFreqIndex();
+    mem_changed = dec.memFreqIdx != _system->memFreqIndex();
     if (mem_changed)
-        _system.memFreqIndex(dec.memFreqIdx);
+        _system->memFreqIndex(dec.memFreqIdx);
 }
 
 void
@@ -335,7 +337,7 @@ ExperimentRunner::applyScenario(Seconds now)
         // The AppResult keeps tracking the core's original
         // instruction target: scenarios study the transient power
         // response, not per-job completion.
-        _system.swapApp(ev.core, WorkloadSchedule::resolve(ev.app));
+        _system->swapApp(ev.core, WorkloadSchedule::resolve(ev.app));
         ++_nextWorkloadEvent;
     }
 }
@@ -354,10 +356,10 @@ ExperimentRunner::step()
     std::vector<double> instr_before(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
         instr_before[static_cast<std::size_t>(i)] =
-            _system.instructionsRetired(i);
+            _system->instructionsRetired(i);
 
     // 1. Profiling window at incumbent frequencies.
-    const WindowStats w1 = _system.runWindow(_simCfg.profileWindow);
+    const WindowStats w1 = _system->runWindow(_simCfg.profileWindow);
 
     // 2-3. Inputs, decision, actuation.
     _inputs = buildInputs(w1);
@@ -367,7 +369,7 @@ ExperimentRunner::step()
     applyDecision(dec, core_changed, mem_changed);
 
     // 4. Execution window at the new operating point.
-    const WindowStats w2 = _system.runWindow(_simCfg.execWindow);
+    const WindowStats w2 = _system->runWindow(_simCfg.execWindow);
 
     // 5. Extrapolate the execution window across the remainder of
     // the epoch, net of DVFS transition stalls.
@@ -383,7 +385,7 @@ ExperimentRunner::step()
     rec.epoch = _epoch;
     rec.startTime = epoch_start;
     rec.budget = budget();
-    rec.memFreqIdx = _system.memFreqIndex();
+    rec.memFreqIdx = _system->memFreqIndex();
     rec.evaluations = dec.evaluations;
     rec.budgetSaturated = dec.budgetSaturated;
     rec.utilisationClamped = dec.utilisationClamped;
@@ -396,9 +398,9 @@ ExperimentRunner::step()
         const double w2_instr =
             static_cast<double>(w2.cores[ui].counters.instructions);
         const double credit = w2_instr * (scale - 1.0);
-        _system.creditInstructions(i, credit);
-        instr_after[ui] = _system.instructionsRetired(i);
-        rec.coreFreqIdx[ui] = _system.coreFreqIndex(i);
+        _system->creditInstructions(i, credit);
+        instr_after[ui] = _system->instructionsRetired(i);
+        rec.coreFreqIdx[ui] = _system->coreFreqIndex(i);
         rec.ips[ui] = (instr_after[ui] - instr_before[ui]) /
             _simCfg.epochLength;
     }

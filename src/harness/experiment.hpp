@@ -27,6 +27,7 @@
 #include "core/policy.hpp"
 #include "core/solver.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/engine/backend.hpp"
 #include "sim/system.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -70,6 +71,21 @@ struct ExperimentConfig
      * carry their own options; this field does not reach them.
      */
     SolverOptions solver;
+    /**
+     * Simulation-engine shard count (EngineConfig::shards). 0 = auto:
+     * the monolithic engine up to 64 cores — bit-identical to
+     * pre-engine releases — and the sharded engine (one shard per 64
+     * cores) above. Any value >= 1 forces the sharded engine; its
+     * output is byte-identical for every shard count.
+     */
+    int shards = 0;
+    /**
+     * Worker threads the sharded engine fans shards over
+     * (EngineConfig::threads). 0 = hardware concurrency, 1 = serial
+     * (what sweeps use, to avoid nesting parallelism). Output is
+     * byte-identical for every value.
+     */
+    int shardThreads = 0;
 };
 
 /** Per-epoch record for time-series figures. */
@@ -180,7 +196,8 @@ class ExperimentRunner
     void budgetFraction(double fraction);
     double budgetFraction() const { return _cfg.budgetFraction; }
 
-    const ManyCoreSystem &system() const { return _system; }
+    /** The engine driving this run (monolithic or sharded). */
+    const SimBackend &system() const { return *_system; }
     Watts peakPower() const { return _peakPower; }
     Watts budget() const;
 
@@ -198,7 +215,7 @@ class ExperimentRunner
     void applyScenario(Seconds now);
 
     SimConfig _simCfg;
-    ManyCoreSystem _system;
+    std::unique_ptr<SimBackend> _system;
     CappingPolicy &_policy;
     ExperimentConfig _cfg;
     ModelFitter _fitter;

@@ -11,6 +11,7 @@
 
 #include "sim/system.hpp"
 #include "util/logging.hpp"
+#include "util/math.hpp"
 #include "workload/spec_table.hpp"
 
 namespace fastcap {
@@ -23,9 +24,7 @@ hashDoubles(std::initializer_list<double> values)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (double v : values) {
-        std::uint64_t bits = 0;
-        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
-        std::memcpy(&bits, &v, sizeof(bits));
+        const std::uint64_t bits = doubleBits(v);
         for (int i = 0; i < 8; ++i) {
             h ^= (bits >> (8 * i)) & 0xff;
             h *= 0x100000001b3ULL;

@@ -101,6 +101,11 @@ SweepGrid::validate() const
         fatal("SweepGrid: targetInstructions must be positive");
     if (maxEpochs < 1)
         fatal("SweepGrid: maxEpochs must be >= 1");
+    if (shards < 0)
+        fatal("SweepGrid: shards must be >= 0 (got %d)", shards);
+    if (shardThreads < 0)
+        fatal("SweepGrid: shardThreads must be >= 0 (got %d)",
+              shardThreads);
     for (const SweepConfig &c : configs) {
         if (c.name.empty())
             fatal("SweepGrid: configs need non-empty names");
@@ -433,6 +438,8 @@ SweepRunner::runOne(const SweepGrid &grid, std::size_t run_index)
     ecfg.targetInstructions = grid.targetInstructions;
     ecfg.maxEpochs = grid.maxEpochs;
     ecfg.solver = grid.solver;
+    ecfg.shards = grid.shards;
+    ecfg.shardThreads = grid.shardThreads;
     if (grid.hasScenarioAxis())
         ecfg.scenario = grid.scenarios[run.point.scenarioIdx];
 

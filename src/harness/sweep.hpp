@@ -98,6 +98,22 @@ struct SweepGrid
      * for any worker count.
      */
     bool pairSeedsAcrossPolicies = false;
+    /**
+     * Simulation-engine shard count per run
+     * (ExperimentConfig::shards): 0 = auto (the monolithic engine up
+     * to 64 cores — a *different contention model*, not a shard
+     * count), >= 1 forces the sharded engine. Output is
+     * byte-identical across every value >= 1; 0 only matches them
+     * where auto already selects the sharded engine (> 64 cores).
+     */
+    int shards = 0;
+    /**
+     * Sharded-engine worker threads per run. Defaults to 1: the
+     * sweep already fans runs out over its own pool, so nesting
+     * shard parallelism inside sweep parallelism oversubscribes.
+     * Raise it for single-run grids at large core counts.
+     */
+    int shardThreads = 1;
 
     /** Configs from SimConfig::defaultConfig per core count. */
     static std::vector<SweepConfig>

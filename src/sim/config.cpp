@@ -11,7 +11,13 @@ SimConfig::defaultConfig(int cores)
     cfg.numCores = cores;
 
     // Table II: 4 DDR3 channels for 16/32 cores, 8 channels for 64.
-    const int channels = (cores >= 64) ? 8 : 4;
+    // Beyond the paper's largest configuration the channel count
+    // scales with the core count (8 per 64 cores), keeping per-core
+    // bandwidth at the 64-core level — the machine a 256/1024-core
+    // capping run models grows its memory system with its cores.
+    const int channels = (cores > 64) ? 8 * ((cores + 63) / 64)
+        : (cores >= 64)               ? 8
+                                      : 4;
     cfg.banksPerController = 8 * channels;
 
     // The default single "common bus" aggregates all channels, so its

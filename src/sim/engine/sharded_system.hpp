@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Sharded simulation engine for routine 256/1024-core capping runs.
+ *
+ * The monolithic ManyCoreSystem advances every core through one
+ * serial event queue, which caps experiment grids at ~64 cores. This
+ * engine partitions the cores into K contiguous shards, each with its
+ * own EventQueue, and advances the shards independently between
+ * window boundaries; windows are the natural barriers because cores
+ * only interact through the per-epoch policy decision the harness
+ * applies between windows.
+ *
+ * Modeling contract (the approximation that buys shard independence;
+ * docs/ARCHITECTURE.md "Simulation engine"):
+ *
+ *   - Each core owns a private *memory lane*: a MemoryController
+ *     carrying the core's fair share of its logical controller's bus
+ *     (transfer time scaled by that controller's lane count, so the
+ *     merged occupancy never exceeds the window) and at least one
+ *     bank. Cross-core memory contention is represented by that
+ *     static bandwidth share instead of simulated queueing, so lanes
+ *     — and therefore shards — share no mutable state.
+ *   - Core i maps to *logical* controller (i mod numControllers).
+ *     Window stats aggregate the lanes of a logical controller (in
+ *     ascending core order) back into numControllers
+ *     MemWindowStats, so the harness, the online fitter and the
+ *     policies see the same shapes as on the monolithic engine.
+ *     Skewed interleaving is not representable here (the engine warns
+ *     and models the modulo mapping).
+ *   - All randomness is per-lane, derived from (seed, core index)
+ *     only. Event interleaving inside a shard never touches
+ *     cross-lane state.
+ *
+ * Determinism contract (enforced by tests/engine/): CSV/JSON output
+ * of any experiment on this engine is byte-identical for every shard
+ * count and every thread count. Shards are merged in fixed shard
+ * order and per-core stats accumulate in original core-index order;
+ * the thread pool only runs shard jobs, never the merge.
+ */
+
+#ifndef FASTCAP_SIM_ENGINE_SHARDED_SYSTEM_HPP
+#define FASTCAP_SIM_ENGINE_SHARDED_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine/backend.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory_controller.hpp"
+#include "sim/power.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fastcap {
+
+class Core;
+
+/**
+ * The sharded many-core engine. See the file comment for the
+ * modeling and determinism contracts.
+ */
+class ShardedSystem : public SimBackend
+{
+  public:
+    /**
+     * @param cfg     validated configuration (the modeled machine)
+     * @param apps    one application per core
+     * @param shards  shard count, clamped to [1, numCores]
+     * @param threads shard workers; 0 = hardware concurrency, 1 =
+     *                serial. Output is identical either way.
+     */
+    ShardedSystem(SimConfig cfg, std::vector<AppProfile> apps,
+                  int shards, int threads);
+    ~ShardedSystem() override;
+
+    ShardedSystem(const ShardedSystem &) = delete;
+    ShardedSystem &operator=(const ShardedSystem &) = delete;
+
+    const char *engineName() const override { return "sharded"; }
+    const SimConfig &config() const override { return _cfg; }
+    int numCores() const override { return _cfg.numCores; }
+    int numControllers() const override { return _cfg.numControllers; }
+    Seconds now() const override { return _now; }
+
+    const AppProfile &appOf(int core) const override;
+    void swapApp(int core, AppProfile app) override;
+
+    void coreFreqIndex(int core, std::size_t idx) override;
+    std::size_t coreFreqIndex(int core) const override;
+    void memFreqIndex(std::size_t idx) override;
+    std::size_t memFreqIndex() const override { return _memFreqIndex; }
+    Hertz memFrequency() const override;
+    void maxFrequencies() override;
+
+    WindowStats runWindow(Seconds duration) override;
+    double instructionsRetired(int core) const override;
+    void creditInstructions(int core, double instr) override;
+
+    Watts nameplatePeakPower() const override;
+    const std::vector<double> &
+    accessProbabilities(int core) const override;
+    std::uint64_t memoryInFlight() const override;
+    std::uint64_t eventsProcessed() const override;
+
+    // --- engine introspection (tests, benches) ----------------------
+    int numShards() const { return static_cast<int>(_shards.size()); }
+    /** Effective worker count shard jobs fan out over. */
+    int shardWorkers() const;
+    /** Core range [first, first + count) of shard s. */
+    std::pair<int, int> shardRange(int s) const;
+
+  private:
+    /**
+     * One core's private slice of the machine: the core, its memory
+     * lane, and the application slot the core's pointer refers to.
+     * Lane addresses are stable (the vectors never resize after
+     * construction).
+     */
+    struct Lane
+    {
+        std::unique_ptr<Core> core;
+        std::unique_ptr<MemoryController> controller;
+        AppProfile app;
+    };
+
+    /** A contiguous block of lanes advancing one event queue. */
+    struct Shard
+    {
+        int firstCore = 0;
+        EventQueue queue;
+        std::vector<Lane> lanes;
+    };
+
+    Lane &lane(int core);
+    const Lane &lane(int core) const;
+    /** Advance one shard to t_end and finalize its window counters. */
+    static void runShardWindow(Shard &shard, Seconds t_end);
+
+    SimConfig _cfg;
+    /**
+     * Per-logical-controller lane configs handed to cores and
+     * controllers (index: core % numControllers): busBurstCycles
+     * scaled to that controller's per-lane bandwidth share,
+     * banksPerController scaled to the per-lane bank share. Scaling
+     * by the controller's own lane count — not the N/K average —
+     * keeps every logical bus's aggregated occupancy <= the window
+     * even when numCores is not divisible by numControllers. Lanes
+     * keep references into this vector (sized once, never resized).
+     */
+    std::vector<SimConfig> _laneCfgs;
+    /** Lane-to-logical bus-occupancy scale, per logical controller. */
+    std::vector<double> _laneScales;
+
+    std::vector<Shard> _shards;
+    /** Core index -> owning shard, for O(1) lane lookup. */
+    std::vector<std::uint32_t> _shardOf;
+    CorePowerModel _corePower;
+    std::vector<MemoryPowerModel> _memPower; //!< per logical controller
+    std::vector<std::vector<double>> _accessProbs; //!< one-hot rows
+    std::size_t _memFreqIndex;
+    Seconds _now = 0.0;
+    int _threads = 1;
+    /** Created only when more than one worker is requested. */
+    std::unique_ptr<ThreadPool> _pool;
+};
+
+} // namespace fastcap
+
+#endif // FASTCAP_SIM_ENGINE_SHARDED_SYSTEM_HPP

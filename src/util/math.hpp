@@ -7,11 +7,27 @@
 #ifndef FASTCAP_UTIL_MATH_HPP
 #define FASTCAP_UTIL_MATH_HPP
 
+#include <cstdint>
+#include <cstring>
 #include <functional>
 #include <utility>
 #include <vector>
 
 namespace fastcap {
+
+/**
+ * Bit pattern of a double: the *exact* equality key (-0.0 != 0.0,
+ * NaNs by payload) used wherever "same value" must mean "same bits" —
+ * solver equivalence classes, ladder-mapping memoisation, cache keys.
+ */
+inline std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
 
 /** Result of a 1-D root solve. */
 struct RootResult

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/fastcap_policy.hpp"
 #include "core/solver.hpp"
+#include "util/rng.hpp"
 
 namespace fastcap {
 namespace {
@@ -147,6 +150,48 @@ TEST(MapToLadders, SnapsToClosestRatios)
     EXPECT_EQ(dec.memFreqIdx, 4u);
     EXPECT_EQ(dec.evaluations, 7);
     EXPECT_DOUBLE_EQ(dec.predictedPower, 42.0);
+}
+
+/** The historical per-core ladder walk, as the regression oracle. */
+std::size_t
+referenceClosestIndex(const std::vector<double> &ratios, double ratio)
+{
+    std::size_t best = 0;
+    double best_d = std::abs(ratios[0] - ratio);
+    for (std::size_t i = 1; i < ratios.size(); ++i) {
+        const double d = std::abs(ratios[i] - ratio);
+        if (d <= best_d) {
+            best_d = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+TEST(MapToLadders, ClassMemoisedMappingBitIdenticalToPerCoreWalk)
+{
+    const PolicyInputs in = inputs(40.0);
+    // Ratio mix a class-collapsed solve emits: heavy duplication, plus
+    // the adversarial values a memoised walk could mishandle — exact
+    // ladder entries, midpoints between levels (ties), the f_min
+    // clamp, both zero signs, and the 1.0 saturation value.
+    const std::vector<double> pool = {
+        1.0,          in.coreRatios.front(), in.coreRatios[3],
+        0.625,        // midpoint of idx 1 (0.60) and idx 2 (0.65): tie
+        0.55000000001, 0.9137, 0.0, -0.0, 0.3121};
+    Rng rng(0xfadedcafeULL);
+    InnerSolution sol;
+    sol.coreRatios.resize(257);
+    for (double &x : sol.coreRatios)
+        x = pool[rng.below(pool.size())];
+
+    const PolicyDecision dec = mapToLadders(in, sol, 2, 11);
+    ASSERT_EQ(dec.coreFreqIdx.size(), sol.coreRatios.size());
+    for (std::size_t i = 0; i < sol.coreRatios.size(); ++i)
+        EXPECT_EQ(dec.coreFreqIdx[i],
+                  referenceClosestIndex(in.coreRatios,
+                                        sol.coreRatios[i]))
+            << "core " << i << " ratio " << sol.coreRatios[i];
 }
 
 } // namespace

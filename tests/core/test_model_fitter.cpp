@@ -5,10 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
+#include <vector>
 
 #include "core/model_fitter.hpp"
 #include "util/logging.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
 
 namespace fastcap {
 namespace {
@@ -140,6 +145,83 @@ TEST(ModelFitter, MemoryUsesBetaDefault)
     f.observeMemory(0.5, 7.5);
     const double beta = f.memory().exponent;
     EXPECT_NEAR(beta, std::log(7.5 / 14.0) / std::log(0.5), 1e-9);
+}
+
+/**
+ * The tracker's incremental (rank-1 moment update) fit must agree
+ * with a from-scratch batch fitPowerLaw over the same history, within
+ * tolerance, through thousands of observations — new frequencies,
+ * in-place refreshes and evictions all update the running sums, so
+ * this is where accumulated drift would show.
+ */
+TEST(PowerLawTracker, IncrementalFitTracksBatchFitWithinTolerance)
+{
+    const double min_exp = 0.3;
+    const double max_exp = 4.0;
+    PowerLawTracker t(2.5, 3, min_exp, max_exp);
+
+    // Shadow history replicating the tracker's rules: distinct-ratio
+    // slots (refreshes smooth in place), capacity 3, FIFO eviction.
+    struct Obs
+    {
+        double ratio;
+        double power;
+    };
+    std::deque<Obs> shadow;
+
+    Rng rng(0x1234abcdULL);
+    for (int step = 0; step < 4000; ++step) {
+        // Ladder-like ratios so refreshes are frequent, with a noisy
+        // power law (alpha ~2.7) plus occasional outliers that push
+        // the fitted exponent into the clamp.
+        const double ratio =
+            (2.2 + 0.2 * static_cast<double>(rng.below(10))) / 4.0;
+        double power = 3.0 * std::pow(ratio, 2.7) *
+            rng.uniform(0.8, 1.25);
+        if (step % 97 == 0)
+            power *= 8.0; // exponent-clamp excursion
+        t.observe(ratio, power);
+
+        auto same = std::find_if(shadow.begin(), shadow.end(),
+                                 [&](const Obs &o) {
+                                     return approxEqual(o.ratio,
+                                                        ratio, 1e-6);
+                                 });
+        if (same != shadow.end()) {
+            same->power = 0.5 * same->power + 0.5 * power;
+        } else {
+            shadow.push_back({ratio, power});
+            while (shadow.size() > 3)
+                shadow.pop_front();
+        }
+
+        if (shadow.size() < 2)
+            continue;
+        std::vector<double> xs, ys;
+        for (const Obs &o : shadow) {
+            xs.push_back(o.ratio);
+            ys.push_back(o.power);
+        }
+        const PowerLawFit fit = fitPowerLaw(xs, ys);
+        ASSERT_TRUE(fit.valid) << "step " << step;
+        const double exp_batch =
+            std::clamp(fit.exponent, min_exp, max_exp);
+        double scale_batch;
+        if (approxEqual(exp_batch, fit.exponent))
+            scale_batch = fit.scale;
+        else
+            scale_batch = shadow.back().power /
+                std::pow(shadow.back().ratio, exp_batch);
+
+        const FittedModel m = t.model();
+        EXPECT_TRUE(m.fromFit) << "step " << step;
+        EXPECT_TRUE(approxEqual(m.exponent, exp_batch, 1e-9))
+            << "step " << step << ": " << m.exponent << " vs "
+            << exp_batch;
+        EXPECT_TRUE(approxEqual(m.scale, scale_batch, 1e-9))
+            << "step " << step << ": " << m.scale << " vs "
+            << scale_batch;
+    }
 }
 
 } // namespace

@@ -8,10 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/solver.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace fastcap {
 namespace {
@@ -170,6 +174,110 @@ TEST(SocketBudgets, BothSocketsTightMeansMinRules)
     const double d_both = sboth.solve().best.d;
 
     EXPECT_NEAR(d_both, std::min(d_a, d_b), 1e-6);
+}
+
+/**
+ * Random many-core inputs drawn from a handful of parameter
+ * templates, so equivalence classes are real (cores repeat) and
+ * random socket boundaries straddle them.
+ */
+PolicyInputs
+randomTemplatedInputs(Rng &rng)
+{
+    PolicyInputs in;
+    const std::size_t n = 8 + rng.below(120);
+    const std::size_t templates = 1 + rng.below(5);
+    std::vector<CoreModel> tpl(templates);
+    for (CoreModel &c : tpl) {
+        c.zbar = rng.uniform(15e-9, 900e-9);
+        c.cache = 7.5e-9;
+        c.pi = rng.uniform(0.8, 4.0);
+        c.alpha = rng.uniform(2.0, 3.2);
+        c.pStatic = rng.uniform(0.6, 1.4);
+        c.ipa = rng.uniform(50.0, 3000.0);
+    }
+    in.cores.resize(n);
+    for (CoreModel &c : in.cores)
+        c = tpl[rng.below(templates)];
+
+    ControllerModel ctl;
+    ctl.q = rng.uniform(1.0, 4.0);
+    ctl.u = rng.uniform(1.0, 4.0);
+    ctl.sm = rng.uniform(20e-9, 60e-9);
+    ctl.sbBar = rng.uniform(1e-9, 4e-9);
+    in.memory.controllers = {ctl};
+    in.memory.pm = rng.uniform(6.0, 20.0);
+    in.memory.beta = rng.uniform(0.8, 1.4);
+    in.memory.pStatic = rng.uniform(8.0, 16.0);
+    in.accessProbs.assign(n, {1.0});
+    for (int i = 0; i < 10; ++i) {
+        in.coreRatios.push_back((2.2 + 0.2 * i) / 4.0);
+        in.memRatios.push_back((206.0 + 66.0 * i) / 800.0);
+    }
+    in.background = 10.0;
+
+    double max_power = in.staticPower() + in.memory.pm;
+    for (const CoreModel &c : in.cores)
+        max_power += c.pi;
+    in.budget = rng.uniform(0.35, 1.05) * max_power;
+    return in;
+}
+
+/**
+ * The per-socket class partition must not change a single bit of the
+ * solve: fuzz random contiguous socket layouts (1-6 sockets, random
+ * boundaries, tight and loose budgets) against the per-core
+ * reference implementation.
+ */
+TEST(SocketBudgets, PartitionedSocketProbesBitIdenticalToReference)
+{
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+        const PolicyInputs in = randomTemplatedInputs(rng);
+
+        // Random contiguous partition of [0, n) into 1-6 sockets.
+        const std::size_t n = in.cores.size();
+        const std::size_t sockets =
+            1 + rng.below(std::min<std::size_t>(6, n));
+        std::vector<std::size_t> cuts = {0, n};
+        while (cuts.size() < sockets + 1) {
+            const std::size_t c = 1 + rng.below(n - 1);
+            if (std::find(cuts.begin(), cuts.end(), c) == cuts.end())
+                cuts.push_back(c);
+        }
+        std::sort(cuts.begin(), cuts.end());
+
+        SolverOptions opt_opts;
+        for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+            const std::size_t count = cuts[s + 1] - cuts[s];
+            const double frac = rng.uniform(0.2, 1.2);
+            opt_opts.socketBudgets.push_back(
+                {cuts[s], count,
+                 in.budget * frac * static_cast<double>(count) /
+                     static_cast<double>(n)});
+        }
+        SolverOptions ref_opts = opt_opts;
+        ref_opts.referenceImpl = true;
+        ref_opts.exhaustiveMemSearch = true;
+
+        FastCapSolver optimised(in, opt_opts);
+        FastCapSolver reference(in, ref_opts);
+        const SolveResult a = optimised.solve();
+        const SolveResult b = reference.solve();
+
+        const std::string ctx = "seed " + std::to_string(seed);
+        ASSERT_EQ(a.memIndex, b.memIndex) << ctx;
+        ASSERT_EQ(a.best.d, b.best.d) << ctx;
+        ASSERT_EQ(a.best.predictedPower, b.best.predictedPower)
+            << ctx;
+        ASSERT_EQ(a.best.budgetFeasible, b.best.budgetFeasible)
+            << ctx;
+        ASSERT_EQ(a.best.saturatedLow, b.best.saturatedLow) << ctx;
+        ASSERT_EQ(a.best.saturatedHigh, b.best.saturatedHigh) << ctx;
+        for (std::size_t i = 0; i < a.best.coreRatios.size(); ++i)
+            ASSERT_EQ(a.best.coreRatios[i], b.best.coreRatios[i])
+                << ctx << " core " << i;
+    }
 }
 
 } // namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The 1024-core experiment tier (acceptance): a full FastCap capped
+ * run on a MIX workload under a step-budget scenario completes within
+ * ctest limits on the sharded engine, tracks the stepped budget, and
+ * a 256-core spot check stays byte-identical across shard layouts.
+ *
+ * Deliberately excluded from the TSan ctest filter (suite name not in
+ * the CI -R expression): instrumented 1024-core runs take minutes and
+ * the determinism/edge suites already cover the concurrency surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine_test_util.hpp"
+#include "harness/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(ManyCoreTier, Full1024CoreCappedRunWithStepBudgetCompletes)
+{
+    SimConfig cfg = SimConfig::defaultConfig(1024);
+    cfg.seed = 0x1024c0deULL;
+
+    ExperimentConfig ecfg;
+    ecfg.budgetFraction = 0.9;
+    ecfg.targetInstructions = 10e6;
+    ecfg.maxEpochs = 40;
+    ecfg.shards = 0;       // auto: 16 shards at 1024 cores
+    ecfg.shardThreads = 0; // auto: hardware workers
+
+    ecfg.scenario = Scenario::parse(
+        "name=step|budget=step@0:0.9;step@0.01:0.6");
+
+    const ExperimentResult res =
+        runWorkload("MIX1", "FastCap", ecfg, cfg);
+
+    EXPECT_TRUE(res.allCompleted());
+    ASSERT_GE(res.epochs.size(), 3u);
+    EXPECT_EQ(res.apps.size(), 1024u);
+
+    // The run tracks the stepped budget: epoch 0 carries the 0.9
+    // budget, epochs past t = 10 ms the 0.6 one, and the post-step
+    // epochs keep average power within a loose band of it.
+    EXPECT_DOUBLE_EQ(res.epochs.front().budget,
+                     0.9 * res.peakPower);
+    double post_step_power = 0.0;
+    int post_step = 0;
+    for (const EpochRecord &e : res.epochs) {
+        if (e.startTime >= 0.01) {
+            EXPECT_DOUBLE_EQ(e.budget, 0.6 * res.peakPower);
+            post_step_power += e.totalPower;
+            ++post_step;
+        }
+    }
+    ASSERT_GT(post_step, 0);
+    // Settling epochs overshoot; the tail must be near budget.
+    EXPECT_LT(res.epochs.back().totalPower,
+              0.72 * res.peakPower);
+    EXPECT_GT(post_step_power / post_step, 0.3 * res.peakPower);
+}
+
+TEST(ManyCoreTier, Capped256CoreRunBitIdenticalAcrossLayouts)
+{
+    SimConfig cfg = SimConfig::defaultConfig(256);
+    cfg.seed = 0x256c0deULL;
+
+    const auto run = [&](int shards, int threads) {
+        ExperimentConfig ecfg;
+        ecfg.budgetFraction = 0.6;
+        ecfg.targetInstructions = 2e6;
+        ecfg.maxEpochs = 20;
+        ecfg.shards = shards;
+        ecfg.shardThreads = threads;
+        const ExperimentResult res =
+            runWorkload("MIX3", "FastCap", ecfg, cfg);
+        EXPECT_TRUE(res.allCompleted());
+        return enginetest::serialize(res);
+    };
+
+    const std::string reference = run(1, 1);
+    EXPECT_EQ(reference, run(4, 8));
+    EXPECT_EQ(reference, run(16, 2));
+}
+
+} // namespace
+} // namespace fastcap

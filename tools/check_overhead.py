@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Guard the solver hot path against perf regressions.
+"""Guard the solver and simulator hot paths against perf regressions.
 
-Compares a fresh ``bench_overhead`` Google-Benchmark JSON dump against
-the committed baseline (``bench/overhead_baseline.json``):
+Compares a fresh Google-Benchmark JSON dump (``bench_overhead`` or
+``bench_manycore``) against its committed baseline
+(``bench/overhead_baseline.json`` / ``bench/manycore_baseline.json``):
 
 1. **Speedup ratios** (machine-portable, the primary gate): for every
-   core count present in both files, the optimised-vs-reference
-   speedup ``BM_Solve<mix>Reference/N / BM_Solve<mix>/N`` must not
-   fall below ``1/allowed_regression`` of the baseline speedup. A
-   faster or slower host scales both sides, so this catches real
-   hot-path regressions without flaking on runner hardware.
-2. **Absolute per-epoch time** (informational unless wildly off): the
-   optimised solve must stay under ``absolute_slack`` x the baseline
-   absolute time, a loose bound that still catches pathological
-   regressions (e.g. an accidental O(N^2) path) on comparable
-   hardware.
+   ``BM_<name>Reference`` / ``BM_<name>`` pair present in both files
+   — the solver's optimised-vs-reference solves, the simulator's
+   sharded-vs-monolithic windows, the fitter's incremental-vs-batch
+   refits — the speedup must not fall below ``1/allowed_regression``
+   of the baseline speedup. A faster or slower host scales both
+   sides, so this catches real hot-path regressions without flaking
+   on runner hardware.
+2. **Absolute time** (informational unless wildly off): every
+   non-reference benchmark must stay under ``absolute_slack`` x
+   ``regression`` x the baseline absolute time, a loose bound that
+   still catches pathological regressions (e.g. an accidental O(N^2)
+   path) on comparable hardware.
+3. **Throughput** (simulator tier): benchmarks reporting
+   ``items_per_second`` — epochs/sec for the capped-experiment
+   benches, windows/sec for the raw DES benches — are printed and
+   gated with the same loose absolute bound, so the 1024-core tier's
+   simulation throughput is tracked release over release.
 
 Usage:
     check_overhead.py CURRENT.json BASELINE.json [--regression 2.0]
@@ -41,6 +49,20 @@ def load_times(path):
             bench["real_time"] * unit_ns[bench.get("time_unit", "ns")]
         )
     return times
+
+
+def load_throughputs(path):
+    """Map benchmark name -> items_per_second, where reported."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is not None and ips > 0:
+            out[bench["name"]] = ips
+    return out
 
 
 def speedups(times):
@@ -79,6 +101,8 @@ def main():
 
     cur = load_times(args.current)
     base = load_times(args.baseline)
+    cur_tput = load_throughputs(args.current)
+    base_tput = load_throughputs(args.baseline)
     cur_speed = speedups(cur)
     base_speed = speedups(base)
 
@@ -117,12 +141,38 @@ def main():
                 f"{bound / 1e3:.1f}us"
             )
 
+    for name in sorted(base_tput):
+        if "Reference" in name:
+            continue
+        if name not in cur_tput:
+            # A benchmark the baseline tracks but the current run
+            # lacks is a gate hole (filter typo, rename), not a pass:
+            # the committed baselines contain exactly what CI runs.
+            failures.append(f"missing throughput benchmark {name}")
+            continue
+        # Throughput (epochs/sec, windows/sec): loose floor mirroring
+        # the absolute-time bound — absolute rates are host-dependent,
+        # so only collapses fail; the printed value is the tracked
+        # metric.
+        floor = base_tput[name] / (args.regression * args.absolute_slack)
+        ok = cur_tput[name] >= floor
+        print(
+            f"tput    {name:<20} {base_tput[name]:>8.2f}/s "
+            f"{cur_tput[name]:>8.2f}/s "
+            f"{'ok' if ok else f'REGRESSED (floor {floor:.2f}/s)'}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {cur_tput[name]:.2f}/s below "
+                f"{floor:.2f}/s (baseline {base_tput[name]:.2f}/s)"
+            )
+
     if failures:
         print("\nFAIL:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print("\nOK: solver hot path within perf envelope")
+    print("\nOK: hot paths within perf envelope")
     return 0
 
 

@@ -17,6 +17,7 @@
 #include "harness/experiment.hpp"
 #include "harness/metrics.hpp"
 #include "policies/registry.hpp"
+#include "scenario/scenario.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -43,6 +44,14 @@ main(int argc, char **argv)
     args.addDouble("skew", 0.0,
                    "hot-controller access fraction (0 = uniform)");
     args.addFlag("ooo", "idealized out-of-order cores");
+    args.addInt("shards", 0,
+                "simulation-engine shards (0 = auto: monolithic "
+                "<= 64 cores, sharded above)");
+    args.addInt("shard-threads", 0,
+                "sharded-engine worker threads (0 = hardware)");
+    args.addString("scenario", "",
+                   "inline time-varying scenario, e.g. "
+                   "'name=drop|budget=step@0:0.9;step@0.05:0.5'");
     args.addInt("seed", 0, "simulation seed (0 = default)");
     args.addFlag("trace", "print per-epoch CSV rows");
     args.addFlag("compare", "also run the uncapped baseline and "
@@ -74,6 +83,12 @@ main(int argc, char **argv)
         ExperimentConfig ecfg;
         ecfg.budgetFraction = args.getDouble("budget");
         ecfg.targetInstructions = args.getDouble("instructions");
+        ecfg.shards = static_cast<int>(args.getInt("shards"));
+        ecfg.shardThreads =
+            static_cast<int>(args.getInt("shard-threads"));
+        if (!args.getString("scenario").empty())
+            ecfg.scenario =
+                Scenario::parse(args.getString("scenario"));
 
         const std::string workload = args.getString("workload");
         const std::string policy = args.getString("policy");

@@ -206,6 +206,13 @@ main(int argc, char **argv)
     args.addFlag("exhaustive-mem-search",
                  "scan every memory level instead of Algorithm 1's "
                  "binary search (validation)");
+    args.addString("shards", "0",
+                   "simulation-engine shards per run (0 = auto: "
+                   "monolithic <= 64 cores, sharded above; output is "
+                   "byte-identical across all values >= 1)");
+    args.addString("shard-threads", "1",
+                   "sharded-engine workers per run (0 = hardware; "
+                   "default 1 to avoid nesting inside --threads)");
     args.addInt("threads", 0, "worker threads (0 = hardware)");
     args.addString("csv", "", "write run CSV to this file "
                               "(default: stdout)");
@@ -223,7 +230,8 @@ main(int argc, char **argv)
                 "budgets",   "cores",        "replicates",
                 "instructions", "max-epochs", "seed",
                 "paired-seeds", "scenario",   "scenario-file",
-                "reference-solver", "exhaustive-mem-search"};
+                "reference-solver", "exhaustive-mem-search",
+                "shards", "shard-threads"};
             bool ok = false;
             for (const char *k : known)
                 ok = ok || kv.first == k;
@@ -287,6 +295,9 @@ main(int argc, char **argv)
         grid.solver.referenceImpl = boolOption("reference-solver");
         grid.solver.exhaustiveMemSearch =
             boolOption("exhaustive-mem-search");
+        grid.shards = oneInt(value("shards"), "shards");
+        grid.shardThreads =
+            oneInt(value("shard-threads"), "shard-threads");
 
         // Scenario axis: a file of named scenarios, or one inline
         // spec. Omitting both keeps the implicit constant scenario
