@@ -6,6 +6,7 @@
 
 #include "harness/peak_power.hpp"
 #include "policies/registry.hpp"
+#include "trace/trace_generator.hpp"
 #include "util/logging.hpp"
 #include "workload/spec_table.hpp"
 
@@ -120,6 +121,13 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
             fatal("ExperimentRunner: scenario event at t=%g targets "
                   "core %d but the system has %d cores", ev.time,
                   ev.core, _simCfg.numCores);
+
+    // A scenario job trace streams through a replayer; opening it
+    // here makes a missing file or malformed generator spec fail
+    // before any simulation time is spent.
+    if (!_cfg.scenario.trace.empty())
+        _traceReplayer = std::make_unique<TraceReplayer>(
+            makeTraceSource(_cfg.scenario.trace), _simCfg.numCores);
 
     if (_cfg.peakPowerOverride > 0.0)
         _peakPower = _cfg.peakPowerOverride;
@@ -340,6 +348,14 @@ ExperimentRunner::applyScenario(Seconds now)
         _system->swapApp(ev.core, WorkloadSchedule::resolve(ev.app));
         ++_nextWorkloadEvent;
     }
+
+    // Trace replay last: explicit workload events act as operator
+    // overrides, trace jobs land on whatever the replayer tracks.
+    if (_traceReplayer)
+        _traceReplayer->advanceTo(
+            now, [this](int core, const AppProfile &app) {
+                _system->swapApp(core, app);
+            });
 }
 
 EpochRecord
@@ -458,6 +474,10 @@ ExperimentRunner::run()
     res.budgetFraction = frac;
     res.epochs = _epochLog;
     res.apps = _apps;
+    if (_traceReplayer) {
+        res.trace = _traceReplayer->stats();
+        res.traceDriven = true;
+    }
     return res;
 }
 

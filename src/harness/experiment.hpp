@@ -29,6 +29,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/engine/backend.hpp"
 #include "sim/system.hpp"
+#include "trace/trace_replay.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -141,6 +142,9 @@ struct ExperimentResult
     double budgetFraction = 0.0;
     std::vector<EpochRecord> epochs;
     std::vector<AppResult> apps;
+    /** Replay counters when the scenario carried a job trace. */
+    TraceReplayStats trace;
+    bool traceDriven = false;
 
     /**
      * Run-average full-system power, energy-weighted over epochs:
@@ -204,6 +208,12 @@ class ExperimentRunner
     /** Inputs built from the most recent profiling window. */
     const PolicyInputs &lastInputs() const { return _inputs; }
 
+    /** The job-trace replayer, or nullptr for trace-less runs. */
+    const TraceReplayer *traceReplayer() const
+    {
+        return _traceReplayer.get();
+    }
+
   private:
     PolicyInputs buildInputs(const WindowStats &w);
     void applyDecision(const PolicyDecision &dec, bool &core_changed,
@@ -225,6 +235,8 @@ class ExperimentRunner
     double _baseBudgetFraction = 0.0;
     /** Next unapplied WorkloadSchedule event. */
     std::size_t _nextWorkloadEvent = 0;
+    /** Streams scenario.trace onto the cores (null = no trace). */
+    std::unique_ptr<TraceReplayer> _traceReplayer;
     int _epoch = 0;
     std::vector<AppResult> _apps;
     std::vector<EpochRecord> _epochLog;

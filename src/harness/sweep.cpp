@@ -8,6 +8,7 @@
 
 #include "harness/peak_power.hpp"
 #include "policies/registry.hpp"
+#include "trace/trace_generator.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -126,6 +127,16 @@ SweepGrid::validate() const
                           "targets core %d but config '%s' has %d "
                           "cores", sc.name.c_str(), ev.time, ev.core,
                           c.name.c_str(), c.sim.numCores);
+        if (!sc.trace.empty()) {
+            // Every grid point opens the source independently, so a
+            // single-pass stream cannot feed a sweep.
+            if (sc.trace == "-")
+                fatal("SweepGrid: scenario '%s' reads its trace from "
+                      "stdin; sweeps replay each source once per run "
+                      "and need a file or gen: spec",
+                      sc.name.c_str());
+            makeTraceSource(sc.trace); // unreadable/malformed -> fatal
+        }
     }
     // Unknown workload/policy names fail fast here rather than
     // mid-sweep on a worker thread.

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "trace/trace_file.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -35,7 +36,90 @@ checkFraction(double v, const char *what)
         fatal("BudgetSchedule: %s %g out of range (0, 1]", what, v);
 }
 
+struct BudgetRow
+{
+    double time = 0.0;
+    double fraction = 0.0;
+};
+
+/**
+ * Next validated `time,fraction` row from a budget trace; false at
+ * end of file. `rows_so_far` enables the one-header-row tolerance:
+ * only a first data row with *both* cells non-numeric is skipped, so
+ * a data row with one bad cell still fails loudly.
+ */
+bool
+nextBudgetRow(TraceFile &file, std::vector<std::string> &cells,
+              std::size_t rows_so_far, BudgetRow &out)
+{
+    while (file.nextRow(cells)) {
+        if (cells.size() != 2)
+            fatal("%s:%d: expected 'time,fraction'",
+                  file.name().c_str(), file.lineno());
+        double ignored = 0.0;
+        if (rows_so_far == 0 && !parseDouble(cells[0], ignored) &&
+            !parseDouble(cells[1], ignored))
+            continue;
+        out.time = parseNumber(cells[0], "trace time", file.name());
+        out.fraction =
+            parseNumber(cells[1], "trace fraction", file.name());
+        checkFraction(out.fraction, "trace fraction");
+        return true;
+    }
+    return false;
+}
+
 } // namespace
+
+/**
+ * Streaming read position inside one Trace segment's file: the row in
+ * effect (cur) and the one after it (next). Built lazily on first
+ * query, advanced forward as time moves, rebuilt by reopening the
+ * file when a query goes backward.
+ */
+struct BudgetSchedule::TraceCursor
+{
+    explicit TraceCursor(const std::string &path) : file(path) {}
+
+    bool
+    read(BudgetRow &out)
+    {
+        if (!nextBudgetRow(file, cells, rows, out))
+            return false;
+        ++rows;
+        return true;
+    }
+
+    TraceFile file;
+    std::vector<std::string> cells;
+    std::size_t rows = 0;
+    BudgetRow cur;
+    BudgetRow next;
+    bool haveNext = false;
+};
+
+BudgetSchedule::BudgetSchedule() = default;
+BudgetSchedule::~BudgetSchedule() = default;
+BudgetSchedule::BudgetSchedule(BudgetSchedule &&) noexcept = default;
+BudgetSchedule &
+BudgetSchedule::operator=(BudgetSchedule &&) noexcept = default;
+
+BudgetSchedule::BudgetSchedule(const BudgetSchedule &other)
+    : _segments(other._segments)
+{
+    // Cursors are per-object read state, never shared: each copy
+    // re-streams its trace segments from the top.
+}
+
+BudgetSchedule &
+BudgetSchedule::operator=(const BudgetSchedule &other)
+{
+    if (this != &other) {
+        _segments = other._segments;
+        _cursors.clear();
+    }
+    return *this;
+}
 
 void
 BudgetSchedule::append(BudgetSegment seg)
@@ -43,11 +127,20 @@ BudgetSchedule::append(BudgetSegment seg)
     if (!std::isfinite(seg.start) || seg.start < 0.0)
         fatal("BudgetSchedule: segment start time %g must be finite "
               "and non-negative", seg.start);
-    if (!_segments.empty() && seg.start <= _segments.back().start)
-        fatal("BudgetSchedule: segment at t=%g does not come after "
-              "the previous segment at t=%g (starts must be strictly "
-              "increasing)", seg.start, _segments.back().start);
-    _segments.push_back(seg);
+    if (!_segments.empty()) {
+        const BudgetSegment &prev = _segments.back();
+        // A trace segment occupies [start, traceEnd]; anything after
+        // it must clear its last row, not just its first.
+        const Seconds prev_end = prev.kind == BudgetSegmentKind::Trace
+            ? prev.traceEnd
+            : prev.start;
+        if (seg.start <= prev_end)
+            fatal("BudgetSchedule: segment at t=%g does not come "
+                  "after the previous segment at t=%g (starts must "
+                  "be strictly increasing)", seg.start, prev_end);
+    }
+    _segments.push_back(std::move(seg));
+    _cursors.clear(); // indices shifted; rebuild lazily
 }
 
 void
@@ -104,42 +197,63 @@ BudgetSchedule::addSine(Seconds start, double mean, double amplitude,
 void
 BudgetSchedule::addTrace(const std::string &path, Seconds offset)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("BudgetSchedule: cannot open trace '%s'", path.c_str());
-    std::string line;
-    int lineno = 0;
-    std::size_t rows = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const auto hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        line = trimmed(line);
-        if (line.empty())
-            continue;
-        const auto comma = line.find(',');
-        if (comma == std::string::npos)
-            fatal("%s:%d: expected 'time,fraction'", path.c_str(),
-                  lineno);
-        const std::string t_str = trimmed(line.substr(0, comma));
-        const std::string f_str = trimmed(line.substr(comma + 1));
-        // Tolerate one header row ("time,fraction" or similar) ahead
-        // of the data, wherever comments/blank lines put it. Only a
-        // row with *both* cells non-numeric qualifies, so a data row
-        // with one bad cell still fails loudly below.
-        double ignored = 0.0;
-        if (rows == 0 && !parseDouble(t_str, ignored) &&
-            !parseDouble(f_str, ignored))
-            continue;
-        const double t = parseNumber(t_str, "trace time", path);
-        const double f = parseNumber(f_str, "trace fraction", path);
-        addStep(offset + t, f);
-        ++rows;
+    BudgetSegment seg;
+    seg.kind = BudgetSegmentKind::Trace;
+    seg.tracePath = path;
+    seg.traceOffset = offset;
+
+    // One validation pass, constant memory: every row must parse,
+    // carry an in-range fraction and advance time. Nothing is kept
+    // beyond the first/last times and the count.
+    TraceFile file(path);
+    std::vector<std::string> cells;
+    BudgetRow row;
+    Seconds last = 0.0;
+    while (nextBudgetRow(file, cells, seg.traceRows, row)) {
+        const Seconds t = offset + row.time;
+        if (seg.traceRows == 0) {
+            if (!std::isfinite(t) || t < 0.0)
+                fatal("BudgetSchedule: trace '%s' starts at t=%g "
+                      "(must be finite and non-negative)",
+                      path.c_str(), t);
+            seg.start = t;
+        } else if (t <= last) {
+            fatal("%s:%d: trace time %g does not come after %g "
+                  "(times must be strictly increasing)", path.c_str(),
+                  file.lineno(), row.time, last - offset);
+        }
+        last = t;
+        ++seg.traceRows;
     }
-    if (rows == 0)
+    if (seg.traceRows == 0)
         fatal("BudgetSchedule: trace '%s' holds no rows",
               path.c_str());
+    seg.traceEnd = last;
+    append(std::move(seg));
+}
+
+double
+BudgetSchedule::traceFractionAt(std::size_t index, Seconds t) const
+{
+    const BudgetSegment &seg = _segments[index];
+    if (_cursors.size() != _segments.size())
+        _cursors.resize(_segments.size());
+    std::unique_ptr<TraceCursor> &cur = _cursors[index];
+
+    // First touch, or a backward query (a fresh replay, a sweep
+    // replicate): restart the stream from the top of the file.
+    if (cur == nullptr || seg.traceOffset + cur->cur.time > t) {
+        cur = std::make_unique<TraceCursor>(seg.tracePath);
+        if (!cur->read(cur->cur))
+            fatal("BudgetSchedule: trace '%s' holds no rows (file "
+                  "changed since load?)", seg.tracePath.c_str());
+        cur->haveNext = cur->read(cur->next);
+    }
+    while (cur->haveNext && seg.traceOffset + cur->next.time <= t) {
+        cur->cur = cur->next;
+        cur->haveNext = cur->read(cur->next);
+    }
+    return cur->cur.fraction;
 }
 
 double
@@ -165,6 +279,9 @@ BudgetSchedule::fractionAt(Seconds t, double fallback) const
         return seg.mean +
             seg.amplitude *
             std::sin(kTwoPi * (t - seg.start) / seg.period);
+    case BudgetSegmentKind::Trace:
+        return traceFractionAt(
+            static_cast<std::size_t>(it - 1 - _segments.begin()), t);
     }
     panic("BudgetSchedule: unknown segment kind");
 }

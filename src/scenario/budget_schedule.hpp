@@ -17,6 +17,7 @@
 #ifndef FASTCAP_SCENARIO_BUDGET_SCHEDULE_HPP
 #define FASTCAP_SCENARIO_BUDGET_SCHEDULE_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,9 +27,10 @@ namespace fastcap {
 
 /** Segment shapes a schedule is built from. */
 enum class BudgetSegmentKind : std::uint8_t {
-    Step, //!< constant level from its start time on
-    Ramp, //!< linear from -> to over duration, then holds `to`
-    Sine, //!< mean + amplitude * sin(2*pi*(t - start)/period)
+    Step,  //!< constant level from its start time on
+    Ramp,  //!< linear from -> to over duration, then holds `to`
+    Sine,  //!< mean + amplitude * sin(2*pi*(t - start)/period)
+    Trace, //!< CSV rows "time,fraction", streamed from disk
 };
 
 /**
@@ -50,6 +52,12 @@ struct BudgetSegment
     double mean = 0.0;
     double amplitude = 0.0;
     Seconds period = 0.0;
+    // Trace. Rows are validated once at addTrace() and then streamed
+    // on demand — a million-row budget trace is never materialized.
+    std::string tracePath;
+    Seconds traceOffset = 0.0;
+    Seconds traceEnd = 0.0;     //!< offset + last row time
+    std::size_t traceRows = 0;  //!< row count from the load-time scan
 };
 
 /**
@@ -57,12 +65,21 @@ struct BudgetSegment
  *
  * Segments are kept sorted by strictly increasing start time; every
  * value a segment can produce is validated into (0, 1] at insertion,
- * so fractionAt() never returns an unusable budget.
+ * so fractionAt() never returns an unusable budget. Trace segments
+ * hold a file position, not the rows: fractionAt() streams forward
+ * through the file as time advances (and reopens it on a backward
+ * query), so schedule memory is independent of trace length.
  */
 class BudgetSchedule
 {
   public:
-    BudgetSchedule() = default;
+    BudgetSchedule();
+    ~BudgetSchedule();
+    /** Copies share the segments but never a trace file position. */
+    BudgetSchedule(const BudgetSchedule &other);
+    BudgetSchedule &operator=(const BudgetSchedule &other);
+    BudgetSchedule(BudgetSchedule &&) noexcept;
+    BudgetSchedule &operator=(BudgetSchedule &&) noexcept;
 
     /**
      * Parse a schedule spec: `segment(;segment)*` with
@@ -88,7 +105,10 @@ class BudgetSchedule
                  Seconds period);
     /**
      * Append a CSV budget trace (rows `time,fraction`, `#` comments,
-     * optional header) as step segments, times shifted by `offset`.
+     * optional header) as ONE streaming segment, times shifted by
+     * `offset`. The file is scanned once here — shape, fractions and
+     * strictly increasing times are validated row by row — but the
+     * rows stay on disk; replay streams them as time advances.
      */
     void addTrace(const std::string &path, Seconds offset = 0.0);
 
@@ -103,14 +123,21 @@ class BudgetSchedule
     /**
      * Budget fraction at virtual time t. Before the first segment (or
      * for an empty schedule) the caller's static `fallback` fraction
-     * applies unchanged.
+     * applies unchanged. For trace segments this advances a file
+     * cursor, so concurrent calls on the *same* object need external
+     * ordering; distinct copies are fully independent.
      */
     double fractionAt(Seconds t, double fallback) const;
 
   private:
+    struct TraceCursor;
+
     void append(BudgetSegment seg);
+    double traceFractionAt(std::size_t index, Seconds t) const;
 
     std::vector<BudgetSegment> _segments;
+    /** Lazy per-segment file cursors (only Trace slots are used). */
+    mutable std::vector<std::unique_ptr<TraceCursor>> _cursors;
 };
 
 } // namespace fastcap

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "trace/trace_generator.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -25,6 +26,7 @@ Scenario::parse(const std::string &spec)
     bool have_name = false;
     bool have_budget = false;
     bool have_workload = false;
+    bool have_trace = false;
     while (std::getline(ss, field, '|')) {
         field = trimmed(field);
         if (field.empty())
@@ -53,13 +55,27 @@ Scenario::parse(const std::string &spec)
             sc.workload =
                 WorkloadSchedule::parse(trimmed(field.substr(eq + 1)));
             have_workload = true;
+        } else if (key == "trace") {
+            if (have_trace)
+                fatal("Scenario: duplicate trace field in '%s'",
+                      spec.c_str());
+            sc.trace = trimmed(field.substr(eq + 1));
+            if (sc.trace.empty())
+                fatal("Scenario: empty trace source in '%s'",
+                      spec.c_str());
+            // Generator specs are cheap to validate here; files are
+            // opened by the run (they may not exist yet at parse
+            // time on a driver machine).
+            if (sc.trace.rfind("gen:", 0) == 0)
+                TraceGenSpec::parse(sc.trace.substr(4));
+            have_trace = true;
         } else if (eq == std::string::npos && first) {
             // Bare leading field is the name.
             sc.name = field;
             have_name = true;
         } else {
             fatal("Scenario: unknown field '%s' (expected name=, "
-                  "budget= or workload=)", field.c_str());
+                  "budget=, workload= or trace=)", field.c_str());
         }
         first = false;
     }

@@ -27,12 +27,20 @@ struct Scenario
     std::string name = "constant";
     BudgetSchedule budget;
     WorkloadSchedule workload;
+    /**
+     * Job-trace source replayed onto the cores during the run: a
+     * trace file path, "-" (stdin), or "gen:KIND,key=value,..." for
+     * a synthetic generator (see src/trace/). Empty = no trace. The
+     * experiment runner opens the source itself, so a Scenario stays
+     * a cheap value type that sweeps can copy per run.
+     */
+    std::string trace;
 
     /** True when the scenario imposes nothing on a run. */
     bool
     isConstant() const
     {
-        return budget.empty() && workload.empty();
+        return budget.empty() && workload.empty() && trace.empty();
     }
 
     /**
@@ -41,6 +49,7 @@ struct Scenario
      *   name=NAME            row label (default "scenario")
      *   budget=SPEC          BudgetSchedule::parse syntax
      *   workload=SPEC        WorkloadSchedule::parse syntax
+     *   trace=SPEC           job-trace source (path, '-' or gen:...)
      *
      * e.g. "name=drop|budget=step@0:0.9;step@0.05:0.5". A bare first
      * field (no '=') is taken as the name. fatal() on unknown fields

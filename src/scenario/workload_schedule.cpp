@@ -12,36 +12,11 @@
 
 namespace fastcap {
 
-namespace {
-
-/**
- * A core with no job: near-zero activity, essentially no memory
- * traffic, and a long compute phase so the "idle loop" retires
- * instructions slowly without touching the memory subsystem.
- */
-const AppProfile &
-idleProfile()
-{
-    static const AppProfile idle = [] {
-        Phase p;
-        p.instructions = 10e6;
-        p.cpiExec = 1.0;
-        p.mpki = 0.005; // one miss per 200k instructions
-        p.wpki = 0.0;
-        p.activity = 0.05;
-        return AppProfile("idle", p);
-    }();
-    return idle;
-}
-
-} // namespace
-
 const AppProfile &
 WorkloadSchedule::resolve(const std::string &app)
 {
-    if (app == "idle")
-        return idleProfile();
-    return workloads::spec(app); // fatal() on unknown names
+    // fatal() on unknown names; "idle" maps to the built-in profile.
+    return workloads::profile(app);
 }
 
 void

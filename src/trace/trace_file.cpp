@@ -1,0 +1,65 @@
+#include "trace/trace_file.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fastcap {
+
+TraceFile::TraceFile(std::string path)
+    : _path(std::move(path)), _name(_path),
+      _owned(std::make_unique<std::ifstream>(_path)), _in(_owned.get())
+{
+    if (!*_owned)
+        fatal("TraceFile: cannot open trace '%s'", _path.c_str());
+}
+
+TraceFile::TraceFile(std::istream &in, std::string name)
+    : _name(std::move(name)), _in(&in)
+{
+}
+
+bool
+TraceFile::nextRow(std::vector<std::string> &cells)
+{
+    while (std::getline(*_in, _line)) {
+        ++_lineno;
+        const auto hash = _line.find('#');
+        if (hash != std::string::npos)
+            _line.erase(hash);
+        const std::string row = trimmed(_line);
+        if (row.empty())
+            continue;
+
+        cells.clear();
+        std::size_t pos = 0;
+        for (;;) {
+            const auto comma = row.find(',', pos);
+            if (comma == std::string::npos) {
+                cells.push_back(trimmed(row.substr(pos)));
+                break;
+            }
+            cells.push_back(trimmed(row.substr(pos, comma - pos)));
+            pos = comma + 1;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+TraceFile::rewind()
+{
+    if (!rewindable())
+        fatal("TraceFile: stream '%s' is single-pass and cannot "
+              "rewind", _name.c_str());
+    // Reopen rather than seekg: clears eof/fail state portably.
+    _owned = std::make_unique<std::ifstream>(_path);
+    if (!*_owned)
+        fatal("TraceFile: cannot reopen trace '%s'", _path.c_str());
+    _in = _owned.get();
+    _lineno = 0;
+}
+
+} // namespace fastcap

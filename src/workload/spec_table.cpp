@@ -141,6 +141,41 @@ spec(const std::string &name)
     return it->second;
 }
 
+const AppProfile &
+idleProfile()
+{
+    static const AppProfile idle = [] {
+        Phase p;
+        p.instructions = 10e6;
+        p.cpiExec = 1.0;
+        p.mpki = 0.005; // one miss per 200k instructions
+        p.wpki = 0.0;
+        p.activity = 0.05;
+        return AppProfile("idle", p);
+    }();
+    return idle;
+}
+
+const AppProfile *
+findProfile(const std::string &name)
+{
+    if (name == "idle")
+        return &idleProfile();
+    const auto &t = table();
+    const auto it = t.find(name);
+    return it == t.end() ? nullptr : &it->second;
+}
+
+const AppProfile &
+profile(const std::string &name)
+{
+    const AppProfile *p = findProfile(name);
+    if (p == nullptr)
+        fatal("workloads::profile: unknown application '%s'",
+              name.c_str());
+    return *p;
+}
+
 std::vector<std::string>
 specNames()
 {
@@ -199,6 +234,13 @@ workloadsOfClass(const std::string &cls)
 std::vector<AppProfile>
 mix(const std::string &workload, int cores)
 {
+    if (workload == "idle") {
+        if (cores < 1)
+            fatal("workloads::mix: core count must be positive "
+                  "(got %d)", cores);
+        return std::vector<AppProfile>(
+            static_cast<std::size_t>(cores), idleProfile());
+    }
     if (cores < 4 || cores % 4 != 0)
         fatal("workloads::mix: core count must be a positive multiple "
               "of 4 (got %d)", cores);

@@ -26,6 +26,23 @@ namespace workloads {
 /** Profile of a named SPEC-like application; fatal() if unknown. */
 const AppProfile &spec(const std::string &name);
 
+/**
+ * A core with no job: near-zero activity, essentially no memory
+ * traffic, and a long compute phase so the "idle loop" retires
+ * instructions slowly without touching the memory subsystem.
+ */
+const AppProfile &idleProfile();
+
+/**
+ * Profile for any resolvable name: a Table III application or the
+ * built-in "idle" profile. fatal() if unknown — schedules and traces
+ * resolve through this so bad names fail at load, not mid-run.
+ */
+const AppProfile &profile(const std::string &name);
+
+/** Like profile(), but nullptr instead of fatal() when unknown. */
+const AppProfile *findProfile(const std::string &name);
+
 /** All application names in the table. */
 std::vector<std::string> specNames();
 
@@ -44,7 +61,10 @@ std::vector<std::string> workloadsOfClass(const std::string &cls);
 /**
  * Build the per-core application list for a workload: N/4 copies of
  * each of its four applications, interleaved (the paper's "xN/4
- * each"). N must be a positive multiple of 4.
+ * each"). N must be a positive multiple of 4. The pseudo-workload
+ * "idle" fills every core with the idle profile (any N >= 1) — the
+ * natural substrate for trace-driven runs, where jobs arrive from
+ * the trace instead of being pinned at t=0.
  */
 std::vector<AppProfile> mix(const std::string &workload, int cores);
 

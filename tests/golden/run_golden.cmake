@@ -8,7 +8,12 @@
 # A mismatch means a change altered simulation results. If that is
 # intentional (a bugfix or a model change), regenerate the reference:
 #   fastcap_sweep --spec <grid.spec> --threads 1 --csv <reference.csv>
-# and call the change out in the PR description.
+# (plus --scenario "<spec>" when the test passes -DSCENARIO) and call
+# the change out in the PR description.
+#
+# Optional -DSCENARIO=<scenario spec> adds a scenario axis on the
+# command line; used by the trace goldens, whose corpus paths are
+# only known at configure time.
 
 foreach(var SWEEP SPEC GOLDEN OUT THREADS)
   if(NOT DEFINED ${var})
@@ -16,8 +21,14 @@ foreach(var SWEEP SPEC GOLDEN OUT THREADS)
   endif()
 endforeach()
 
+set(scenario_args)
+if(DEFINED SCENARIO)
+  set(scenario_args --scenario ${SCENARIO})
+endif()
+
 execute_process(
   COMMAND ${SWEEP} --spec ${SPEC} --threads ${THREADS} --csv ${OUT}
+          ${scenario_args}
   RESULT_VARIABLE rc
   ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)

@@ -212,15 +212,21 @@ class BudgetTraceFile : public ::testing::Test
     std::string _path;
 };
 
-TEST_F(BudgetTraceFile, LoadsRowsAsSteps)
+TEST_F(BudgetTraceFile, StreamsRowsAsOneSegment)
 {
     const std::string &path =
         write("time,fraction\n0,0.9\n0.05,0.5\n# comment\n0.1,0.7\n");
     const BudgetSchedule s = BudgetSchedule::parse("trace@0:" + path);
-    ASSERT_EQ(s.size(), 3u);
+    // The rows stay on disk: one Trace segment, not one step per row.
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.segments()[0].kind, BudgetSegmentKind::Trace);
+    EXPECT_EQ(s.segments()[0].traceRows, 3u);
+    EXPECT_DOUBLE_EQ(s.segments()[0].traceEnd, 0.1);
     EXPECT_DOUBLE_EQ(s.fractionAt(0.01, 0.6), 0.9);
     EXPECT_DOUBLE_EQ(s.fractionAt(0.06, 0.6), 0.5);
     EXPECT_DOUBLE_EQ(s.fractionAt(0.2, 0.6), 0.7);
+    // Backward queries rewind the stream transparently.
+    EXPECT_DOUBLE_EQ(s.fractionAt(0.01, 0.6), 0.9);
 }
 
 TEST_F(BudgetTraceFile, HeaderMayFollowCommentsAndBlankLines)
@@ -228,8 +234,32 @@ TEST_F(BudgetTraceFile, HeaderMayFollowCommentsAndBlankLines)
     const std::string &path = write(
         "# rack cap trace\n\ntime,fraction\n0,0.9\n0.05,0.5\n");
     const BudgetSchedule s = BudgetSchedule::parse("trace@0:" + path);
-    ASSERT_EQ(s.size(), 2u);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.segments()[0].traceRows, 2u);
     EXPECT_DOUBLE_EQ(s.fractionAt(0.01, 0.6), 0.9);
+}
+
+TEST_F(BudgetTraceFile, CopiesStreamIndependently)
+{
+    const std::string &path = write("0,0.9\n0.05,0.5\n0.1,0.7\n");
+    const BudgetSchedule s = BudgetSchedule::parse("trace@0:" + path);
+    EXPECT_DOUBLE_EQ(s.fractionAt(0.2, 0.6), 0.7); // cursor at end
+    // A copy must not inherit the original's file position…
+    const BudgetSchedule copy = s;
+    EXPECT_DOUBLE_EQ(copy.fractionAt(0.01, 0.6), 0.9);
+    // …and the original keeps answering from where it was.
+    EXPECT_DOUBLE_EQ(s.fractionAt(0.25, 0.6), 0.7);
+}
+
+TEST_F(BudgetTraceFile, SegmentsMayFollowATraceAfterItsLastRow)
+{
+    const std::string &path = write("0,0.9\n0.05,0.5\n");
+    BudgetSchedule s = BudgetSchedule::parse("trace@0:" + path);
+    // The trace occupies [0, 0.05]; a step inside that span overlaps.
+    EXPECT_THROW(s.addStep(0.03, 0.7), FatalError);
+    s.addStep(0.08, 0.7);
+    EXPECT_DOUBLE_EQ(s.fractionAt(0.06, 0.6), 0.5);
+    EXPECT_DOUBLE_EQ(s.fractionAt(0.09, 0.6), 0.7);
 }
 
 TEST_F(BudgetTraceFile, OffsetsRowTimesByTheSegmentStart)

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The committed trace corpus under tests/traces/ is a contract: at
+ * least eight traces, every one carrying the format magic and a
+ * regeneration recipe, loading cleanly through the validating
+ * reader, and replaying to completion — twice, with identical swap
+ * logs — on a 16-core machine. A corpus file that rots breaks here,
+ * not in a downstream golden.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_generator.hpp"
+#include "trace/trace_reader.hpp"
+#include "trace/trace_replay.hpp"
+
+namespace fastcap {
+namespace {
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> out;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(FASTCAP_TRACES_DIR))
+        if (entry.path().extension() == ".trace")
+            out.push_back(entry.path().string());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+using SwapLog = std::vector<std::pair<int, std::string>>;
+
+SwapLog
+replay(const std::string &path, TraceReplayStats &stats)
+{
+    TraceReplayer rep(std::make_unique<TraceReader>(path), 16);
+    SwapLog log;
+    rep.advanceTo(1e9, [&log](int core, const AppProfile &app) {
+        log.emplace_back(core, app.name());
+    });
+    EXPECT_TRUE(rep.idle()) << path;
+    stats = rep.stats();
+    return log;
+}
+
+TEST(TraceCorpus, HoldsAtLeastEightTraces)
+{
+    EXPECT_GE(corpusFiles().size(), 8u);
+}
+
+TEST(TraceCorpus, EveryFileCarriesMagicAndProvenance)
+{
+    for (const std::string &path : corpusFiles()) {
+        std::ifstream in(path);
+        std::string first;
+        ASSERT_TRUE(std::getline(in, first)) << path;
+        EXPECT_EQ(first, "# fastcap job trace v1") << path;
+    }
+}
+
+TEST(TraceCorpus, EveryFileLoadsThroughTheValidatingReader)
+{
+    for (const std::string &path : corpusFiles()) {
+        TraceReader reader(path);
+        TraceEvent ev;
+        std::size_t n = 0;
+        Seconds last = 0.0;
+        while (reader.next(ev)) {
+            EXPECT_GE(ev.arrival, last) << path;
+            last = ev.arrival;
+            ++n;
+        }
+        EXPECT_GT(n, 0u) << path;
+    }
+}
+
+TEST(TraceCorpus, EveryFileReplaysToCompletionDeterministically)
+{
+    for (const std::string &path : corpusFiles()) {
+        TraceReplayStats a, b;
+        const SwapLog first = replay(path, a);
+        const SwapLog second = replay(path, b);
+        EXPECT_FALSE(first.empty()) << path;
+        EXPECT_EQ(first, second) << path;
+        EXPECT_EQ(a.arrivals, b.arrivals) << path;
+        EXPECT_EQ(a.arrivals, a.placed + a.dropped) << path;
+        EXPECT_EQ(a.placed, a.completed) << path;
+        EXPECT_LE(a.peakRunning, 16u) << path;
+    }
+}
+
+/** Regeneration recipes embedded in generated corpus members work. */
+TEST(TraceCorpus, GeneratedMembersMatchTheirEmbeddedSpec)
+{
+    std::size_t checked = 0;
+    for (const std::string &path : corpusFiles()) {
+        // "# fastcap_tracegen --gen "SPEC"" on line 2 of generated
+        // members (the hand-written one has a prose comment instead).
+        std::ifstream in(path);
+        std::string line;
+        std::getline(in, line);
+        std::getline(in, line);
+        const std::string tag = "# fastcap_tracegen --gen \"";
+        if (line.rfind(tag, 0) != 0)
+            continue;
+        const std::string spec =
+            line.substr(tag.size(),
+                        line.size() - tag.size() - 1); // strip quote
+        auto gen = makeTraceSource("gen:" + spec);
+        TraceReader file(path);
+        TraceEvent fromGen, fromFile;
+        while (file.next(fromFile)) {
+            ASSERT_TRUE(gen->next(fromGen)) << path;
+            // The file went through %.9f formatting; the generator
+            // stream must match to that precision.
+            EXPECT_NEAR(fromGen.arrival, fromFile.arrival, 1e-9)
+                << path;
+            EXPECT_EQ(fromGen.app, fromFile.app) << path;
+            EXPECT_NEAR(fromGen.duration, fromFile.duration, 1e-9)
+                << path;
+            EXPECT_EQ(fromGen.cores, fromFile.cores) << path;
+        }
+        EXPECT_FALSE(gen->next(fromGen)) << path;
+        ++checked;
+    }
+    EXPECT_GE(checked, 8u); // all generated members verified
+}
+
+} // namespace
+} // namespace fastcap

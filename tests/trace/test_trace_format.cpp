@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The job-trace format's validation contract: every malformed row —
+ * wrong shape, non-monotone arrivals, unknown apps, non-finite or
+ * non-positive durations, int-wrapping core demands — must be
+ * rejected at load with a FatalError carrying file:line context,
+ * never silently skipped or wrapped onto a plausible value. Plus the
+ * tolerances the format promises: comments, blank lines, one header
+ * row, equal arrival times, and the "idle" app.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_generator.hpp"
+#include "trace/trace_reader.hpp"
+#include "util/logging.hpp"
+#include "workload/spec_table.hpp"
+
+namespace fastcap {
+namespace {
+
+/** Drain a trace given as literal text; throws what next() throws. */
+std::vector<TraceEvent>
+load(const std::string &text)
+{
+    std::istringstream in(text);
+    TraceReader reader(in, "<test>");
+    std::vector<TraceEvent> out;
+    TraceEvent ev;
+    while (reader.next(ev))
+        out.push_back(ev);
+    return out;
+}
+
+TEST(TraceFormat, ParsesTheDocumentedShape)
+{
+    const std::vector<TraceEvent> evs = load(
+        "# a comment\n"
+        "arrival_s,app,duration_s,cores\n"
+        "\n"
+        "0.0,milc,0.02,1\n"
+        "0.01, gcc , 0.5 , 2\n" // cells are trimmed
+        "0.01,idle,0.001,1\n"   // equal arrivals: a batch
+        "0.5,swim,0.03,8   # trailing comment\n");
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_DOUBLE_EQ(evs[0].arrival, 0.0);
+    EXPECT_EQ(evs[0].app, "milc");
+    EXPECT_DOUBLE_EQ(evs[0].duration, 0.02);
+    EXPECT_EQ(evs[0].cores, 1);
+    EXPECT_EQ(evs[1].app, "gcc");
+    EXPECT_EQ(evs[1].cores, 2);
+    EXPECT_EQ(evs[2].app, "idle");
+    EXPECT_DOUBLE_EQ(evs[3].arrival, 0.5);
+    EXPECT_EQ(evs[3].cores, 8);
+}
+
+TEST(TraceFormat, HeaderIsOptional)
+{
+    EXPECT_EQ(load("0,milc,0.02,1\n0.1,gcc,0.01,1\n").size(), 2u);
+}
+
+TEST(TraceFormat, RejectsEmptyTraces)
+{
+    EXPECT_THROW(load(""), FatalError);
+    EXPECT_THROW(load("# only a comment\n"), FatalError);
+    EXPECT_THROW(load("arrival_s,app,duration_s,cores\n"),
+                 FatalError);
+}
+
+TEST(TraceFormat, RejectsMalformedRows)
+{
+    // Wrong cell counts.
+    EXPECT_THROW(load("0,milc,0.02\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,1,extra\n"), FatalError);
+    EXPECT_THROW(load("just some text\n"), FatalError);
+    // A second header-like row is not tolerated.
+    EXPECT_THROW(load("arrival_s,app,duration_s,cores\n"
+                      "0,milc,0.02,1\n"
+                      "arrival_s,app,duration_s,cores\n"),
+                 FatalError);
+    // A data row with one bad numeric cell is not a header.
+    EXPECT_THROW(load("x,milc,0.02,1\n"), FatalError);
+    EXPECT_THROW(load("0,milc,x,1\n"), FatalError);
+    // Empty cells.
+    EXPECT_THROW(load("0,,0.02,1\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,\n"), FatalError);
+}
+
+TEST(TraceFormat, RejectsBadArrivalTimes)
+{
+    EXPECT_THROW(load("-0.1,milc,0.02,1\n"), FatalError);
+    EXPECT_THROW(load("nan,milc,0.02,1\n"), FatalError);
+    EXPECT_THROW(load("inf,milc,0.02,1\n"), FatalError);
+    // Non-monotone arrivals: the replayer merges against a running
+    // heap and silently reordering would corrupt placement.
+    EXPECT_THROW(load("0.2,milc,0.02,1\n0.1,gcc,0.02,1\n"),
+                 FatalError);
+}
+
+TEST(TraceFormat, RejectsUnknownApps)
+{
+    EXPECT_THROW(load("0,notanapp,0.02,1\n"), FatalError);
+    EXPECT_THROW(load("0,MILC,0.02,1\n"), FatalError); // case matters
+}
+
+TEST(TraceFormat, RejectsBadDurations)
+{
+    EXPECT_THROW(load("0,milc,0,1\n"), FatalError);
+    EXPECT_THROW(load("0,milc,-0.5,1\n"), FatalError);
+    EXPECT_THROW(load("0,milc,nan,1\n"), FatalError);
+    EXPECT_THROW(load("0,milc,inf,1\n"), FatalError);
+}
+
+TEST(TraceFormat, RejectsBadCoreDemands)
+{
+    EXPECT_THROW(load("0,milc,0.02,0\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,-2\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,1.5\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,two\n"), FatalError);
+    // Overflowing demands must not wrap onto a plausible count.
+    EXPECT_THROW(load("0,milc,0.02,4294967297\n"), FatalError);
+    EXPECT_THROW(load("0,milc,0.02,99999999999999999999\n"),
+                 FatalError);
+}
+
+TEST(TraceFormat, ErrorsCarryFileAndLineContext)
+{
+    try {
+        load("0,milc,0.02,1\n0.1,gcc,bad,1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("<test>:2"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("duration"), std::string::npos) << msg;
+    }
+}
+
+TEST(TraceFormat, FuzzNeverAcceptsCorruptedRows)
+{
+    // Mutate a valid row one byte at a time: the reader must either
+    // produce a valid event or throw FatalError — never crash, hang
+    // or hand back garbage (negative durations, wrapped cores).
+    const std::string row = "0.125,milc,0.0625,4\n";
+    const std::string junk = "x;#,-. \t9"; // mutation alphabet
+    for (std::size_t pos = 0; pos < row.size() - 1; ++pos) {
+        for (const char c : junk) {
+            std::string mutated = row;
+            mutated[pos] = c;
+            try {
+                for (const TraceEvent &ev :
+                     load(mutated + "9.5,gcc,0.01,1\n")) {
+                    EXPECT_GE(ev.arrival, 0.0);
+                    EXPECT_GT(ev.duration, 0.0);
+                    EXPECT_GE(ev.cores, 1);
+                    EXPECT_NE(workloads::findProfile(ev.app),
+                              nullptr);
+                }
+            } catch (const FatalError &) {
+                // Rejection is the expected outcome for most edits.
+            }
+        }
+    }
+}
+
+TEST(TraceFormat, MakeTraceSourceDispatches)
+{
+    // gen: specs resolve to generators with self-describing names.
+    auto gen = makeTraceSource("gen:poisson,rate=50,horizon=0.1");
+    EXPECT_EQ(gen->name().rfind("gen:poisson", 0), 0u);
+    TraceEvent ev;
+    EXPECT_TRUE(gen->next(ev));
+
+    EXPECT_THROW(makeTraceSource(""), FatalError);
+    EXPECT_THROW(makeTraceSource("/nonexistent/file.trace"),
+                 FatalError);
+    EXPECT_THROW(makeTraceSource("gen:bogus,rate=1"), FatalError);
+}
+
+} // namespace
+} // namespace fastcap

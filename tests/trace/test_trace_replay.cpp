@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The replayer's placement semantics, pinned case by case: FIFO
+ * admission with head-of-line blocking, lowest-index-first core
+ * assignment, departures-before-arrivals at equal times, multi-core
+ * jobs binding k cores to one profile, load shedding at the pending
+ * bound, and invariance of the swap sequence under the epoch
+ * granularity it is driven with.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace_replay.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+/** In-memory TraceSource for hand-crafted replay cases. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<TraceEvent> evs)
+        : _evs(std::move(evs))
+    {
+    }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (_i >= _evs.size())
+            return false;
+        ev = _evs[_i++];
+        return true;
+    }
+
+    const std::string &name() const override { return _name; }
+
+  private:
+    std::vector<TraceEvent> _evs;
+    std::size_t _i = 0;
+    std::string _name = "<vector>";
+};
+
+TraceEvent
+ev(Seconds arrival, const std::string &app, Seconds duration,
+   int cores)
+{
+    TraceEvent e;
+    e.arrival = arrival;
+    e.app = app;
+    e.duration = duration;
+    e.cores = cores;
+    return e;
+}
+
+/** (core, app-name) pairs in swap order. */
+using SwapLog = std::vector<std::pair<int, std::string>>;
+
+TraceReplayer::SwapFn
+logger(SwapLog &log)
+{
+    return [&log](int core, const AppProfile &app) {
+        log.emplace_back(core, app.name());
+    };
+}
+
+TEST(TraceReplay, PlacesOnLowestIndexFreeCores)
+{
+    TraceReplayer rep(
+        std::make_unique<VectorSource>(std::vector<TraceEvent>{
+            ev(0.00, "milc", 1.0, 1),
+            ev(0.01, "gcc", 1.0, 2),
+            ev(0.02, "swim", 1.0, 1),
+        }),
+        4);
+    SwapLog log;
+    rep.advanceTo(0.05, logger(log));
+    const SwapLog want = {
+        {0, "milc"}, {1, "gcc"}, {2, "gcc"}, {3, "swim"}};
+    EXPECT_EQ(log, want);
+    EXPECT_EQ(rep.stats().placed, 3u);
+    EXPECT_EQ(rep.stats().peakRunning, 4u);
+}
+
+TEST(TraceReplay, DeparturesSwapFreedCoresToIdle)
+{
+    TraceReplayer rep(
+        std::make_unique<VectorSource>(std::vector<TraceEvent>{
+            ev(0.0, "milc", 0.1, 2),
+            ev(0.3, "gcc", 0.1, 1),
+        }),
+        4);
+    SwapLog log;
+    rep.advanceTo(0.2, logger(log));
+    SwapLog want = {
+        {0, "milc"}, {1, "milc"}, {0, "idle"}, {1, "idle"}};
+    EXPECT_EQ(log, want);
+    EXPECT_EQ(rep.stats().completed, 1u);
+    // The freed low cores are reused by the next job.
+    rep.advanceTo(0.35, logger(log));
+    want.emplace_back(0, "gcc");
+    EXPECT_EQ(log, want);
+}
+
+TEST(TraceReplay, DeparturesComeBeforeArrivalsAtEqualTimes)
+{
+    // A ends exactly when B arrives on a one-core machine: B must
+    // observe the freed core and start immediately, not queue.
+    TraceReplayer rep(
+        std::make_unique<VectorSource>(std::vector<TraceEvent>{
+            ev(0.0, "milc", 0.5, 1),
+            ev(0.5, "gcc", 0.1, 1),
+        }),
+        1);
+    SwapLog log;
+    rep.advanceTo(0.5, logger(log));
+    const SwapLog want = {{0, "milc"}, {0, "idle"}, {0, "gcc"}};
+    EXPECT_EQ(log, want);
+    EXPECT_EQ(rep.pending(), 0u);
+}
+
+TEST(TraceReplay, FifoWithHeadOfLineBlocking)
+{
+    // A(1 core) runs; B(2 cores) then C(1 core) queue. One core is
+    // free the whole time, but C must not jump over B.
+    TraceReplayer rep(
+        std::make_unique<VectorSource>(std::vector<TraceEvent>{
+            ev(0.0, "milc", 0.2, 1),
+            ev(0.01, "gcc", 0.1, 2),
+            ev(0.02, "swim", 0.1, 1),
+        }),
+        2);
+    SwapLog log;
+    rep.advanceTo(0.1, logger(log));
+    EXPECT_EQ(rep.running(), 1u);
+    EXPECT_EQ(rep.pending(), 2u);
+    const SwapLog head = {{0, "milc"}};
+    EXPECT_EQ(log, head);
+    // A departs at 0.2: B takes both cores; C still blocked.
+    rep.advanceTo(0.25, logger(log));
+    const SwapLog mid = {
+        {0, "milc"}, {0, "idle"}, {0, "gcc"}, {1, "gcc"}};
+    EXPECT_EQ(log, mid);
+    EXPECT_EQ(rep.pending(), 1u);
+    // B departs at 0.3: C finally runs, on the lowest core.
+    rep.advanceTo(0.4, logger(log));
+    ASSERT_GE(log.size(), 7u);
+    EXPECT_EQ(log[6], (std::pair<int, std::string>{0, "swim"}));
+    rep.advanceTo(1.0, logger(log));
+    EXPECT_TRUE(rep.idle());
+    EXPECT_EQ(rep.stats().completed, 3u);
+}
+
+TEST(TraceReplay, ShedsArrivalsWhenPendingIsFull)
+{
+    std::vector<TraceEvent> evs = {ev(0.0, "milc", 10.0, 1)};
+    for (int i = 1; i <= 6; ++i)
+        evs.push_back(ev(0.01 * i, "gcc", 0.1, 1));
+    TraceReplayer rep(std::make_unique<VectorSource>(evs), 1,
+                      /*max_pending=*/2);
+    SwapLog log;
+    rep.advanceTo(1.0, logger(log));
+    EXPECT_EQ(rep.stats().arrivals, 7u);
+    EXPECT_EQ(rep.stats().placed, 1u);
+    EXPECT_EQ(rep.stats().dropped, 4u);
+    EXPECT_EQ(rep.stats().peakPending, 2u);
+    EXPECT_EQ(rep.pending(), 2u);
+}
+
+TEST(TraceReplay, SwapSequenceIsInvariantUnderEpochGranularity)
+{
+    const std::vector<TraceEvent> evs = {
+        ev(0.00, "milc", 0.07, 2), ev(0.01, "gcc", 0.03, 1),
+        ev(0.02, "swim", 0.11, 3), ev(0.05, "ammp", 0.02, 1),
+        ev(0.05, "gcc", 0.05, 2),  ev(0.13, "milc", 0.01, 4),
+    };
+    SwapLog coarse;
+    {
+        TraceReplayer rep(std::make_unique<VectorSource>(evs), 4);
+        rep.advanceTo(1.0, logger(coarse));
+        EXPECT_TRUE(rep.idle());
+    }
+    SwapLog fine;
+    {
+        TraceReplayer rep(std::make_unique<VectorSource>(evs), 4);
+        for (int i = 1; i <= 1000; ++i)
+            rep.advanceTo(0.001 * i, logger(fine));
+        EXPECT_TRUE(rep.idle());
+    }
+    EXPECT_EQ(coarse, fine);
+}
+
+TEST(TraceReplay, FatalWhenAJobExceedsTheMachine)
+{
+    TraceReplayer rep(
+        std::make_unique<VectorSource>(std::vector<TraceEvent>{
+            ev(0.0, "milc", 0.1, 8)}),
+        4);
+    SwapLog log;
+    EXPECT_THROW(rep.advanceTo(1.0, logger(log)), FatalError);
+}
+
+TEST(TraceReplay, RejectsBadConstruction)
+{
+    EXPECT_THROW(TraceReplayer(nullptr, 4), FatalError);
+    EXPECT_THROW(
+        TraceReplayer(std::make_unique<VectorSource>(
+                          std::vector<TraceEvent>{}),
+                      0),
+        FatalError);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,0 +1,76 @@
+# fastcap_tracegen round-trip check, run as a ctest:
+#
+#   cmake -DTRACEGEN=<fastcap_tracegen> -DSIM=<fastcap_sim>
+#         -DOUTDIR=<scratch dir> -P run_tracegen_roundtrip.cmake
+#
+# 1. The same generator spec written twice is byte-identical.
+# 2. The canonical spec embedded in the file's provenance header
+#    regenerates the file byte-identically (the corpus regeneration
+#    recipe in docs/TRACES.md relies on this).
+# 3. The generated trace replays through fastcap_sim.
+
+foreach(var TRACEGEN SIM OUTDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_tracegen_roundtrip.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(spec "mmpp,rate=200,horizon=0.1,burst-factor=6,mean-burst=0.02,mean-quiet=0.05,max-cores=2,seed=99")
+set(a ${OUTDIR}/roundtrip_a.trace)
+set(b ${OUTDIR}/roundtrip_b.trace)
+set(c ${OUTDIR}/roundtrip_c.trace)
+
+foreach(out ${a} ${b})
+  execute_process(
+    COMMAND ${TRACEGEN} --gen ${spec} --out ${out}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fastcap_tracegen failed (${rc}): ${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "tracegen is not reproducible: two runs of --gen '${spec}' differ")
+endif()
+
+# Extract the canonical spec from the provenance header and rerun it.
+file(STRINGS ${a} provenance REGEX "^# fastcap_tracegen --gen ")
+string(REGEX REPLACE "^# fastcap_tracegen --gen \"(.*)\"$" "\\1"
+  canonical "${provenance}")
+if(canonical STREQUAL "" OR canonical STREQUAL "${provenance}")
+  message(FATAL_ERROR "no provenance header in ${a}: '${provenance}'")
+endif()
+execute_process(
+  COMMAND ${TRACEGEN} --gen ${canonical} --out ${c}
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "regeneration from the embedded spec failed (${rc}): ${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${c}
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+    "the embedded spec '${canonical}' does not regenerate ${a}")
+endif()
+
+# The generated trace must replay cleanly end to end.
+execute_process(
+  COMMAND ${SIM} --workload idle --cores 8 --policy Uncapped
+          --instructions 1e12 --max-epochs 25 --trace ${a}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fastcap_sim replay failed (${rc}): ${err}")
+endif()
+if(NOT out MATCHES "arrived")
+  message(FATAL_ERROR "fastcap_sim did not report replay stats: ${out}")
+endif()

@@ -4,11 +4,16 @@
  * line.
  *
  *   fastcap_sim --workload MIX3 --policy FastCap --cores 16 \
- *               --budget 0.6 --instructions 5e7 --trace
+ *               --budget 0.6 --instructions 5e7 --epoch-csv
  *
- * Prints a run summary; `--trace` adds per-epoch CSV rows (power,
- * memory level, budget) for plotting; `--compare` also runs the
- * uncapped baseline and reports normalized per-application CPI.
+ * Prints a run summary; `--epoch-csv` adds per-epoch CSV rows
+ * (power, memory level, budget) for plotting; `--compare` also runs
+ * the uncapped baseline and reports normalized per-application CPI.
+ * `--trace` replays a job trace (a file, '-' for stdin, or a
+ * gen:KIND,... generator spec) onto the cores:
+ *
+ *   fastcap_tracegen --kind poisson --rate 500 | \
+ *       fastcap_sim --workload idle --trace - --max-epochs 50
  */
 
 #include <cstdio>
@@ -31,7 +36,8 @@ main(int argc, char **argv)
     ArgParser args("fastcap_sim",
                    "FastCap power-capping experiment driver");
     args.addString("workload", "MIX3",
-                   "Table III workload (ILP1..MIX4)");
+                   "Table III workload (ILP1..MIX4), or 'idle' for "
+                   "an empty machine (trace replays)");
     args.addString("policy", "FastCap",
                    "FastCap | CPU-only | Uncapped | Freq-Par | "
                    "Eql-Pwr | Eql-Freq | MaxBIPS");
@@ -53,7 +59,13 @@ main(int argc, char **argv)
                    "inline time-varying scenario, e.g. "
                    "'name=drop|budget=step@0:0.9;step@0.05:0.5'");
     args.addInt("seed", 0, "simulation seed (0 = default)");
-    args.addFlag("trace", "print per-epoch CSV rows");
+    args.addInt("max-epochs", 1000,
+                "hard stop in epochs (bounds trace replays whose "
+                "apps never complete)");
+    args.addString("trace", "",
+                   "replay a job trace: a file path, '-' (stdin), or "
+                   "gen:KIND,key=value,... for a synthetic stream");
+    args.addFlag("epoch-csv", "print per-epoch CSV rows");
     args.addFlag("compare", "also run the uncapped baseline and "
                             "report normalized CPI");
     if (!args.parse(argc, argv))
@@ -83,12 +95,16 @@ main(int argc, char **argv)
         ExperimentConfig ecfg;
         ecfg.budgetFraction = args.getDouble("budget");
         ecfg.targetInstructions = args.getDouble("instructions");
+        ecfg.maxEpochs = static_cast<int>(args.getInt("max-epochs"));
         ecfg.shards = static_cast<int>(args.getInt("shards"));
         ecfg.shardThreads =
             static_cast<int>(args.getInt("shard-threads"));
         if (!args.getString("scenario").empty())
             ecfg.scenario =
                 Scenario::parse(args.getString("scenario"));
+        // The flag wins over any trace= field inside --scenario.
+        if (!args.getString("trace").empty())
+            ecfg.scenario.trace = args.getString("trace");
 
         const std::string workload = args.getString("workload");
         const std::string policy = args.getString("policy");
@@ -108,7 +124,16 @@ main(int argc, char **argv)
                     res.averagePowerFraction(), res.maxEpochPower(),
                     res.allCompleted() ? "yes" : "NO");
 
-        if (args.getFlag("trace")) {
+        if (res.traceDriven)
+            std::printf("trace %s | jobs: %zu arrived, %zu placed, "
+                        "%zu completed, %zu shed | peak: %zu pending, "
+                        "%zu cores busy\n",
+                        ecfg.scenario.trace.c_str(),
+                        res.trace.arrivals, res.trace.placed,
+                        res.trace.completed, res.trace.dropped,
+                        res.trace.peakPending, res.trace.peakRunning);
+
+        if (args.getFlag("epoch-csv")) {
             std::printf("\nepoch,core_w,mem_w,total_w,budget_w,"
                         "mem_level\n");
             for (const EpochRecord &e : res.epochs)
