@@ -43,6 +43,12 @@ mapToLadders(const PolicyInputs &inputs, const InnerSolution &sol,
     // once per distinct ratio bit pattern and fans out to the cores.
     // Keyed on the exact bits — the same rule the solver classes use —
     // so the mapped index per core is identical to a per-core walk.
+    // The map is a pure keyed memo: values depend only on their key,
+    // results are emitted in coreRatios order, and the map is never
+    // iterated — hash/insertion order cannot reach the decision.
+    // Proven by InsertionOrderPermutationBitIdentity in
+    // tests/core/test_fastcap_policy.cpp.
+    // fastcap-lint: order-insensitive(keyed memo, never iterated)
     std::unordered_map<std::uint64_t, std::size_t> mapped;
     mapped.reserve(16);
     for (double x : sol.coreRatios) {

@@ -77,19 +77,19 @@ class PowerLawTracker
 
     struct Sample
     {
-        double ratio;
-        Watts power;
-        double lx; //!< log(ratio), cached for the moment updates
-        double ly; //!< log(power), cached for the moment updates
+        double ratio = 0.0;
+        Watts power = 0.0;
+        double lx = 0.0; //!< log(ratio), cached for the moment updates
+        double ly = 0.0; //!< log(power), cached for the moment updates
     };
 
     /** Add (+1) or remove (-1) a sample's log-log moment terms. */
     void accumulate(const Sample &s, double sign);
 
-    double _defaultExponent;
-    std::size_t _historyLimit;
-    double _minExponent;
-    double _maxExponent;
+    double _defaultExponent = 0.0;
+    std::size_t _historyLimit = 0;
+    double _minExponent = 0.0;
+    double _maxExponent = 0.0;
     std::deque<Sample> _history;
     FittedModel _model;
     // Running log-log moments over the history: sum lx, sum ly,

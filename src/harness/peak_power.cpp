@@ -6,12 +6,13 @@
 #include <cstring>
 #include <initializer_list>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "sim/system.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "workload/spec_table.hpp"
 
 namespace fastcap {
@@ -53,19 +54,22 @@ dvfsKey(const SimConfig &cfg)
     return h;
 }
 
-std::map<std::string, Watts> &
+/**
+ * The memo cache plus its lock, annotated so clang's thread-safety
+ * analysis checks the discipline: sweep workers measure peaks
+ * concurrently, and every entry access must hold `mu`.
+ */
+struct PeakCache
+{
+    Mutex mu;
+    std::map<std::string, Watts> entries FASTCAP_GUARDED_BY(mu);
+};
+
+PeakCache &
 cache()
 {
-    static std::map<std::string, Watts> c;
+    static PeakCache c;
     return c;
-}
-
-/** Guards cache(); sweep workers measure peaks concurrently. */
-std::mutex &
-cacheMutex()
-{
-    static std::mutex m;
-    return m;
 }
 
 } // namespace
@@ -111,10 +115,11 @@ measuredPeakPower(const SimConfig &cfg, int epochs)
 {
     // Serializing the whole measurement keeps concurrent first
     // callers from duplicating work; cache hits only pay the lock.
-    std::lock_guard<std::mutex> lock(cacheMutex());
+    PeakCache &c = cache();
+    LockGuard lock(c.mu);
     const std::string key = peakPowerCacheKey(cfg, epochs);
-    auto it = cache().find(key);
-    if (it != cache().end())
+    auto it = c.entries.find(key);
+    if (it != c.entries.end())
         return it->second;
 
     // Measure with a fixed seed: the cache key covers only the
@@ -142,15 +147,16 @@ measuredPeakPower(const SimConfig &cfg, int epochs)
         panic("measuredPeakPower: non-positive peak");
     inform("measured peak power for %d cores: %.1f W", cfg.numCores,
            peak);
-    cache().emplace(key, peak);
+    c.entries.emplace(key, peak);
     return peak;
 }
 
 void
 clearPeakPowerCache()
 {
-    std::lock_guard<std::mutex> lock(cacheMutex());
-    cache().clear();
+    PeakCache &c = cache();
+    LockGuard lock(c.mu);
+    c.entries.clear();
 }
 
 } // namespace fastcap

@@ -12,6 +12,7 @@
 #include "util/csv.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/spec_table.hpp"
 
@@ -23,7 +24,7 @@ std::string
 fmt(double v)
 {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    checkedSnprintf(buf, sizeof(buf), "%.6g", v);
     return std::string(buf);
 }
 
@@ -31,7 +32,7 @@ std::string
 fmtSeed(std::uint64_t seed)
 {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, seed);
+    checkedSnprintf(buf, sizeof(buf), "0x%016" PRIx64, seed);
     return std::string(buf);
 }
 
@@ -47,7 +48,7 @@ jsonEscape(const std::string &s)
             out += static_cast<char>(c);
         } else if (c < 0x20) {
             char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            checkedSnprintf(buf, sizeof(buf), "\\u%04x", c);
             out += buf;
         } else {
             out += static_cast<char>(c);
@@ -470,6 +471,7 @@ SweepRunner::run()
     for (const SweepConfig &c : _grid.configs)
         measuredPeakPower(c.sim);
 
+    // fastcap-lint: wall-clock(operator-facing wallSeconds only)
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t n = _grid.runCount();
 
@@ -487,6 +489,9 @@ SweepRunner::run()
         pool.wait();
     }
 
+    // wallSeconds is console reporting only, never serialized into
+    // the CSV/JSON results (the 1-vs-N-thread cmp gate depends on
+    // that). fastcap-lint: wall-clock(operator-facing wallSeconds only)
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)

@@ -225,7 +225,7 @@ class SweepRunner
 
   private:
     SweepGrid _grid;
-    int _threads;
+    int _threads = 0;
 };
 
 } // namespace fastcap

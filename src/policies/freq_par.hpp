@@ -43,7 +43,7 @@ class FreqParPolicy : public CappingPolicy
     void reset() override;
 
   private:
-    double _gain;
+    double _gain = 0.0;
     /** Chip-wide frequency quota in ratio units (sum of ratios). */
     double _quota = -1.0;
     /** Linear-model slope estimate: watts per unit total ratio. */

@@ -34,7 +34,7 @@ class MaxBipsPolicy : public CappingPolicy
     PolicyDecision decide(const PolicyInputs &inputs) override;
 
   private:
-    std::size_t _maxCores;
+    std::size_t _maxCores = 0;
 };
 
 } // namespace fastcap

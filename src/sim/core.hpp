@@ -110,15 +110,15 @@ class Core
     void maybeIssueWriteback(const Phase &phase);
     int maxOutstanding(const Phase &phase) const;
 
-    int _id;
+    int _id = 0;
     const SimConfig &_cfg;
     EventQueue &_queue;
     Rng _rng;
     const AppProfile *_app = nullptr;
     SubmitFn _submit;
 
-    Hertz _freq;
-    std::size_t _freqIndex;
+    Hertz _freq = 0.0;
+    std::size_t _freqIndex = 0;
 
     double _instrRetired = 0.0;
     CoreCounters _counters;

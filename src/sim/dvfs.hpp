@@ -99,8 +99,8 @@ class VoltageCurve
     double squaredRatio(Hertz f) const;
 
   private:
-    Hertz _fMin;
-    Hertz _fMax;
+    Hertz _fMin = 0.0;
+    Hertz _fMax = 0.0;
     Volts _vMin;
     Volts _vMax;
 };

@@ -157,7 +157,7 @@ class ShardedSystem : public SimBackend
     CorePowerModel _corePower;
     std::vector<MemoryPowerModel> _memPower; //!< per logical controller
     std::vector<std::vector<double>> _accessProbs; //!< one-hot rows
-    std::size_t _memFreqIndex;
+    std::size_t _memFreqIndex = 0;
     Seconds _now = 0.0;
     int _threads = 1;
     /** Created only when more than one worker is requested. */

@@ -75,8 +75,8 @@ class EventQueue
   private:
     struct Entry
     {
-        Seconds when;
-        std::uint64_t seq;
+        Seconds when = 0.0;
+        std::uint64_t seq = 0;
         Callback cb;
     };
 

@@ -101,7 +101,7 @@ class MemoryBank
     void resetBusyTime() { _busyTime = 0.0; }
 
   private:
-    int _id;
+    int _id = 0;
     std::deque<Request> _queue;
     std::optional<Request> _serving;
     bool _blocked = false;

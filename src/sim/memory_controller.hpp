@@ -139,11 +139,11 @@ class MemoryController
     void onTransferDone();
     Seconds drawServiceTime();
 
-    int _id;
+    int _id = 0;
     const SimConfig &_cfg;
     EventQueue &_queue;
     Rng _rng;
-    Hertz _busFreq;
+    Hertz _busFreq = 0.0;
     std::vector<MemoryBank> _banks;
     MemoryBus _bus;
     DeliveryFn _deliver;

@@ -53,7 +53,7 @@ class CorePowerModel
   private:
     CorePowerConfig _cfg;
     VoltageCurve _curve;
-    Hertz _fMax;
+    Hertz _fMax = 0.0;
 };
 
 /**
@@ -93,9 +93,9 @@ class MemoryPowerModel
 
   private:
     MemoryPowerConfig _cfg;
-    double _share;
+    double _share = 0.0;
     VoltageCurve _curve;
-    Hertz _fMax;
+    Hertz _fMax = 0.0;
 };
 
 } // namespace fastcap

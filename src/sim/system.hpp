@@ -162,7 +162,7 @@ class ManyCoreSystem
     CorePowerModel _corePower;
     std::vector<MemoryPowerModel> _memPower;
     std::vector<std::vector<double>> _accessProbs;
-    std::size_t _memFreqIndex;
+    std::size_t _memFreqIndex = 0;
     bool _running = false;
 };
 

@@ -48,7 +48,7 @@ std::string
 num(double v)
 {
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%g", v);
+    checkedSnprintf(buf, sizeof(buf), "%g", v);
     return buf;
 }
 

@@ -104,8 +104,8 @@ class TraceReplayer
     void drainPending(Seconds t, const SwapFn &swap);
 
     std::unique_ptr<TraceSource> _src;
-    int _numCores;
-    std::size_t _maxPending;
+    int _numCores = 0;
+    std::size_t _maxPending = 0;
     TraceEvent _next;
     bool _haveNext = false;
     bool _srcDone = false;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 
 namespace fastcap {
 
@@ -29,7 +30,7 @@ ArgParser::addDouble(const std::string &name, double def,
                      std::string help)
 {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%g", def);
+    checkedSnprintf(buf, sizeof(buf), "%g", def);
     if (!_options.emplace(name, Option{Kind::Double, std::move(help),
                                        std::string(buf), false})
              .second)

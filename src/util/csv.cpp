@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.hpp"
+#include "util/strings.hpp"
 
 namespace fastcap {
 
@@ -59,7 +60,7 @@ CsvWriter::rowNumeric(const std::vector<double> &cells)
     out.reserve(cells.size());
     for (double v : cells) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        checkedSnprintf(buf, sizeof(buf), "%.6g", v);
         out.emplace_back(buf);
     }
     row(out);
@@ -74,7 +75,7 @@ CsvWriter::rowLabeled(const std::string &label,
     out.push_back(label);
     for (double v : cells) {
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        checkedSnprintf(buf, sizeof(buf), "%.6g", v);
         out.emplace_back(buf);
     }
     row(out);

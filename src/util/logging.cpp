@@ -34,7 +34,12 @@ vformat(const char *fmt, std::va_list args)
         return std::string(fmt);
 
     std::vector<char> buf(static_cast<size_t>(needed) + 1);
-    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    const int written = std::vsnprintf(buf.data(), buf.size(), fmt,
+                                       args);
+    // Cannot panic() from the formatter panic() itself uses; fall
+    // back to the raw format string on the (unreachable) mismatch.
+    if (written != needed)
+        return std::string(fmt);
     return std::string(buf.data(), static_cast<size_t>(needed));
 }
 

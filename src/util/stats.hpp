@@ -93,7 +93,7 @@ class Ewma
     bool seeded() const { return _seeded; }
 
   private:
-    double _alpha;
+    double _alpha = 0.0;
     double _value = 0.0;
     bool _seeded = false;
 };
@@ -127,9 +127,9 @@ class Histogram
     std::string summary() const;
 
   private:
-    double _lo;
-    double _hi;
-    double _width;
+    double _lo = 0.0;
+    double _hi = 0.0;
+    double _width = 0.0;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;

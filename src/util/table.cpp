@@ -27,8 +27,22 @@ std::string
 AsciiTable::num(double v, int precision)
 {
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return std::string(buf);
+    const int needed = std::snprintf(buf, sizeof(buf), "%.*f",
+                                     precision, v);
+    if (needed < 0)
+        panic("AsciiTable::num: snprintf encoding error");
+    if (static_cast<std::size_t>(needed) < sizeof(buf))
+        return std::string(buf);
+    // Extreme magnitudes overflow the fast path: %.6f of 1e300 needs
+    // over 300 characters. Retry at the measured length rather than
+    // rendering a silently truncated (i.e. wrong) number.
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    const int written = std::snprintf(&out[0], out.size() + 1, "%.*f",
+                                      precision, v);
+    if (written != needed)
+        panic("AsciiTable::num: inconsistent snprintf sizing "
+              "(%d vs %d)", written, needed);
+    return out;
 }
 
 void

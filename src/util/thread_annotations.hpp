@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations (-Wthread-safety).
+ *
+ * The determinism contract is enforced statically on two fronts: the
+ * fastcap_lint pass (tools/lint/) covers ordering/entropy/format
+ * invariants, and these annotations let clang prove lock discipline
+ * on the few pieces of genuinely shared mutable state — the
+ * thread-pool queue and wait-barrier, and the peak-power memo cache.
+ * Under GCC (which has no analysis) they expand to nothing.
+ *
+ * Macro set follows the standard capability vocabulary; see
+ * https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and
+ * docs/STATIC_ANALYSIS.md ("Thread-safety annotations").
+ */
+
+#ifndef FASTCAP_UTIL_THREAD_ANNOTATIONS_HPP
+#define FASTCAP_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FASTCAP_THREAD_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef FASTCAP_THREAD_ATTR
+#define FASTCAP_THREAD_ATTR(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability (e.g. a mutex wrapper). */
+#define FASTCAP_CAPABILITY(x) FASTCAP_THREAD_ATTR(capability(x))
+
+/** Marks an RAII type that holds a capability for its lifetime. */
+#define FASTCAP_SCOPED_CAPABILITY FASTCAP_THREAD_ATTR(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define FASTCAP_GUARDED_BY(x) FASTCAP_THREAD_ATTR(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by `x`. */
+#define FASTCAP_PT_GUARDED_BY(x) FASTCAP_THREAD_ATTR(pt_guarded_by(x))
+
+/** Function callable only while holding the given capabilities. */
+#define FASTCAP_REQUIRES(...) \
+    FASTCAP_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the capability and holds it on return. */
+#define FASTCAP_ACQUIRE(...) \
+    FASTCAP_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the capability. */
+#define FASTCAP_RELEASE(...) \
+    FASTCAP_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/*
+ * Zero-argument forms for a capability type's own methods (the
+ * capability is `this`). Separate spellings because invoking a
+ * variadic macro with no arguments is ill-formed pre-C++20 and the
+ * tree builds with -Wpedantic.
+ */
+#define FASTCAP_ACQUIRE_SELF FASTCAP_THREAD_ATTR(acquire_capability())
+#define FASTCAP_RELEASE_SELF FASTCAP_THREAD_ATTR(release_capability())
+
+/**
+ * Function that tries to acquire; the first argument is the success
+ * return value, any further arguments name the capabilities.
+ */
+#define FASTCAP_TRY_ACQUIRE(...) \
+    FASTCAP_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called while holding the capability. */
+#define FASTCAP_EXCLUDES(...) \
+    FASTCAP_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Assert (to the analysis) that the capability is already held. */
+#define FASTCAP_ASSERT_CAPABILITY(x) \
+    FASTCAP_THREAD_ATTR(assert_capability(x))
+
+/** Return value of a function that exposes the underlying mutex. */
+#define FASTCAP_RETURN_CAPABILITY(x) \
+    FASTCAP_THREAD_ATTR(lock_returned(x))
+
+/** Escape hatch: disable the analysis for one function. */
+#define FASTCAP_NO_THREAD_SAFETY_ANALYSIS \
+    FASTCAP_THREAD_ATTR(no_thread_safety_analysis)
+
+#endif // FASTCAP_UTIL_THREAD_ANNOTATIONS_HPP

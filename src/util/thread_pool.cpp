@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        LockGuard lock(_mu);
         _stopping = true;
     }
     _wake.notify_all();
@@ -39,7 +39,7 @@ ThreadPool::submit(Job job)
     if (!job)
         panic("ThreadPool::submit: empty job");
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        LockGuard lock(_mu);
         if (_stopping)
             panic("ThreadPool::submit: pool is shutting down");
         _jobs.push_back(std::move(job));
@@ -47,10 +47,15 @@ ThreadPool::submit(Job job)
     _wake.notify_one();
 }
 
+// The two condition-variable loops below hand the lock back and
+// forth through cv waits and manual unlock/relock, which clang's
+// function-at-a-time analysis cannot follow (the wait predicates are
+// separate lambdas to it); they opt out explicitly. Every other
+// access to the guarded members is checked.
 void
-ThreadPool::wait()
+ThreadPool::wait() FASTCAP_NO_THREAD_SAFETY_ANALYSIS
 {
-    std::unique_lock<std::mutex> lock(_mu);
+    UniqueLock lock(_mu);
     _idle.wait(lock, [this] { return _jobs.empty() && _active == 0; });
     if (_firstError) {
         std::exception_ptr err = std::exchange(_firstError, nullptr);
@@ -59,9 +64,9 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop() FASTCAP_NO_THREAD_SAFETY_ANALYSIS
 {
-    std::unique_lock<std::mutex> lock(_mu);
+    UniqueLock lock(_mu);
     for (;;) {
         _wake.wait(lock,
                    [this] { return _stopping || !_jobs.empty(); });

@@ -16,9 +16,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace fastcap {
 
@@ -67,13 +69,19 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> _workers;
-    std::deque<Job> _jobs;
-    mutable std::mutex _mu;
-    std::condition_variable _wake; //!< signals workers: job or stop
-    std::condition_variable _idle; //!< signals wait(): batch done
-    std::size_t _active = 0;       //!< jobs currently executing
-    bool _stopping = false;
-    std::exception_ptr _firstError;
+    // _mu guards the queue and the wait() barrier state below; this
+    // is also the barrier the sharded engine's window determinism
+    // rests on (ShardedSystem::runWindow merges only after wait()
+    // returns, i.e. strictly after every shard job's effects are
+    // published by the release/acquire pair on _mu).
+    mutable Mutex _mu;
+    std::deque<Job> _jobs FASTCAP_GUARDED_BY(_mu);
+    // condition_variable_any: waits directly on the annotated Mutex.
+    std::condition_variable_any _wake; //!< signals workers: job or stop
+    std::condition_variable_any _idle; //!< signals wait(): batch done
+    std::size_t _active FASTCAP_GUARDED_BY(_mu) = 0;
+    bool _stopping FASTCAP_GUARDED_BY(_mu) = false;
+    std::exception_ptr _firstError FASTCAP_GUARDED_BY(_mu);
 };
 
 } // namespace fastcap

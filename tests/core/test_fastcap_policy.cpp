@@ -194,5 +194,52 @@ TEST(MapToLadders, ClassMemoisedMappingBitIdenticalToPerCoreWalk)
             << "core " << i << " ratio " << sol.coreRatios[i];
 }
 
+// The bit-identity obligation behind the unordered_map waiver in
+// mapToLadders (fastcap-lint: order-insensitive): the memo is keyed
+// on exact ratio bits and never iterated, so permuting the order the
+// ratios arrive in — which permutes the map's insertion order and,
+// with it, its bucket layout — must map every ratio value to the
+// same ladder index. If iteration order ever leaked into the result
+// (or a value came to depend on which duplicate inserted first),
+// some permutation would disagree.
+TEST(MapToLadders, InsertionOrderPermutationBitIdentity)
+{
+    const PolicyInputs in = inputs(40.0);
+    const std::vector<double> pool = {
+        1.0,   in.coreRatios.front(), in.coreRatios[3],
+        0.625, 0.55000000001, 0.9137, 0.0, -0.0, 0.3121};
+    Rng rng(0x5eedf00dULL);
+    std::vector<double> base(129);
+    for (double &x : base)
+        x = pool[rng.below(pool.size())];
+
+    // Reference mapping per exact bit pattern, from the identity
+    // permutation.
+    InnerSolution sol;
+    sol.coreRatios = base;
+    const PolicyDecision ref = mapToLadders(in, sol, 2, 1);
+    ASSERT_EQ(ref.coreFreqIdx.size(), base.size());
+
+    std::vector<std::size_t> order(base.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (int trial = 0; trial < 16; ++trial) {
+        // Fisher-Yates with the deterministic test Rng: a fresh
+        // insertion order (and so bucket history) each trial.
+        for (std::size_t i = order.size() - 1; i > 0; --i)
+            std::swap(order[i], order[rng.below(i + 1)]);
+        InnerSolution perm;
+        perm.coreRatios.reserve(base.size());
+        for (std::size_t src : order)
+            perm.coreRatios.push_back(base[src]);
+        const PolicyDecision dec = mapToLadders(in, perm, 2, 1);
+        ASSERT_EQ(dec.coreFreqIdx.size(), order.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(dec.coreFreqIdx[i], ref.coreFreqIdx[order[i]])
+                << "trial " << trial << " core " << i << " ratio "
+                << perm.coreRatios[i];
+    }
+}
+
 } // namespace
 } // namespace fastcap

@@ -1,0 +1,48 @@
+// fastcap-lint corpus: R1 — unordered containers in result code.
+// Not compiled; consumed by `fastcap_lint --self-test`. Each marked
+// line must produce exactly the findings its EXPECT lists.
+// fastcap-lint-zone: src/core/example.cpp
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fastcap {
+
+std::unordered_map<int, double> weights; // EXPECT: R1
+
+using Index = std::unordered_map<int, int>; // EXPECT: R1
+
+double
+sumAll()
+{
+    double total = 0.0;
+    for (const auto &kv : weights) // EXPECT: R1
+        total += kv.second;
+    return total;
+}
+
+double
+sumParam(const std::unordered_set<long> &seen) // EXPECT: R1
+{
+    double total = 0.0;
+    // A multi-line range-for: the finding lands on the `for` line.
+    for (const auto &v : // EXPECT: R1
+         seen)
+        total += static_cast<double>(v);
+    return total;
+}
+
+double
+viaAccumulate()
+{
+    std::unordered_map<int, double> local; // EXPECT: R1
+    return std::accumulate(local.begin(), // EXPECT: R1
+                           local.end(), // EXPECT: R1
+                           0.0,
+                           [](double a, const auto &kv) {
+                               return a + kv.second;
+                           });
+}
+
+} // namespace fastcap

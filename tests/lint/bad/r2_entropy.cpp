@@ -1,0 +1,67 @@
+// fastcap-lint corpus: R2 — ambient entropy and wall clocks in sim
+// code. Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/sim/example.cpp
+
+#include <chrono>
+#include <ctime>
+#include <random> // EXPECT: R2
+
+namespace fastcap {
+
+int
+ambientSeed()
+{
+    std::random_device rd; // EXPECT: R2
+    return static_cast<int>(rd());
+}
+
+int
+libcRand()
+{
+    srand(7); // EXPECT: R2
+    return rand(); // EXPECT: R2
+}
+
+unsigned
+twister()
+{
+    std::mt19937 gen(42); // EXPECT: R2
+    return static_cast<unsigned>(gen());
+}
+
+double
+wallNow()
+{
+    const auto t = std::chrono::steady_clock::now(); // EXPECT: R2
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long
+epochSeconds()
+{
+    return static_cast<long>(time(nullptr)); // EXPECT: R2
+}
+
+long
+qualifiedEpochSeconds()
+{
+    return static_cast<long>(std::time(nullptr)); // EXPECT: R2
+}
+
+unsigned
+bareTwister()
+{
+    using namespace std;
+    mt19937 g(1); // EXPECT: R2
+    return static_cast<unsigned>(g());
+}
+
+// A syntactically valid waiver with the wrong tag does not silence R2.
+long
+wrongTag()
+{
+    // fastcap-lint: order-insensitive(tag does not match rule R2)
+    return static_cast<long>(time(nullptr)); // EXPECT: R2
+}
+
+} // namespace fastcap

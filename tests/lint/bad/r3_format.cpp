@@ -1,0 +1,51 @@
+// fastcap-lint corpus: R3 — unchecked fixed-buffer formatting.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/harness/example.cpp
+
+#include <cstdio>
+
+namespace fastcap {
+
+void
+unchecked(double v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.3f", v); // EXPECT: R3
+    snprintf(buf, sizeof(buf), "%.3f", v); // EXPECT: R3
+}
+
+void
+discardedIsStillUnchecked(double v)
+{
+    char buf[16];
+    // An explicit (void) cast documents the discard but does not make
+    // truncation detectable: still a finding.
+    (void)std::snprintf(buf, sizeof(buf), "%.3f", v); // EXPECT: R3
+}
+
+void
+sprintfIsAlwaysBanned(double v)
+{
+    char buf[64];
+    sprintf(buf, "%f", v); // EXPECT: R3
+}
+
+void
+multiLineCall(double v)
+{
+    char buf[16];
+    std::snprintf( // EXPECT: R3
+        buf,
+        sizeof(buf),
+        "%.3f",
+        v);
+}
+
+void
+vararg(const char *fmt, va_list args)
+{
+    char buf[16];
+    std::vsnprintf(buf, sizeof(buf), fmt, args); // EXPECT: R3
+}
+
+} // namespace fastcap

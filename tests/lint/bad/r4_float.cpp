@@ -1,0 +1,26 @@
+// fastcap-lint corpus: R4 — single-precision float in result code.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/example.cpp
+
+namespace fastcap {
+
+float // EXPECT: R4
+scale(double x)
+{
+    const auto k = 0.5f; // EXPECT: R4
+    return static_cast<float>(x * k); // EXPECT: R4
+}
+
+struct Narrow {
+    float value = 0.0F; // EXPECT: R4 R4
+};
+
+double
+literals()
+{
+    // Scientific-notation float literal.
+    const double a = 1.5e-3f; // EXPECT: R4
+    return a;
+}
+
+} // namespace fastcap

@@ -1,0 +1,20 @@
+// fastcap-lint corpus: R5 — raw assert in src/.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/trace/example.cpp
+
+#include <assert.h> // EXPECT: R5
+#include <cassert> // EXPECT: R5
+
+namespace fastcap {
+
+void
+check(int n)
+{
+    assert(n > 0); // EXPECT: R5
+    // The project macro panics instead of compiling out: allowed.
+    FASTCAP_ASSERT(n > 0);
+    // Compile-time asserts cannot differ between builds: allowed.
+    static_assert(sizeof(int) >= 4, "need 32-bit int");
+}
+
+} // namespace fastcap

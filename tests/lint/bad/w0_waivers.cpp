@@ -1,0 +1,20 @@
+// fastcap-lint corpus: W0 — malformed waivers are findings, so a
+// typo can never silently disable a rule.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/example.cpp
+
+namespace fastcap {
+
+/* EXPECT: W0 */ // fastcap-lint: raw-assert()
+
+/* EXPECT: W0 */ // fastcap-lint: no-such-tag(a reason)
+
+/* EXPECT: W0 */ // fastcap-lint: words without parentheses
+
+/* EXPECT: W0 */ // fastcap-lint:
+
+/* EXPECT: W0 */ // fastcap-lint: order-insensitive(valid), entropy()
+
+int placeholder = 0;
+
+} // namespace fastcap

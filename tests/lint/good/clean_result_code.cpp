@@ -1,0 +1,104 @@
+// fastcap-lint corpus (good): idiomatic result-zone code with every
+// classic false-positive trap — banned spellings inside strings, raw
+// strings, comments and longer identifiers must never fire.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/example.cpp
+
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace fastcap {
+
+// Mentions of rand(), time(0), assert(x) and float in a comment are
+// commentary, not code.
+
+const char *
+stringTraps()
+{
+    static const char kDoc[] =
+        "assert(rand()); float f = 0.5f; for (auto &kv : m) time(0);";
+    return kDoc;
+}
+
+const char *
+rawStringTraps()
+{
+    return R"(std::unordered_map<int, int> m; srand(1); sprintf(0,"");)";
+}
+
+const char *
+prefixedLiterals()
+{
+    const char *u = u8"time(nullptr)";
+    char q = '\'';
+    return q == 'x' ? u : u8"rand()";
+}
+
+long
+numericTraps()
+{
+    // Digit separators are not char literals; 0x1F is not a float
+    // literal despite ending in F.
+    const long million = 1'000'000;
+    const int mask = 0x1F;
+    return million + mask;
+}
+
+// Identifiers that merely contain banned names are unrelated.
+double randomness_budget = 0.0;
+double floating_share = 0.0;
+
+long
+timer(long ticks)
+{
+    return ticks + 1;
+}
+
+double
+memberAndOtherNamespaceCalls(SimClock &clk, SimClock *ptr)
+{
+    // Member calls and foreign-namespace calls named `time` are not
+    // the libc wall clock.
+    return clk.time() + ptr->time() + simclock::time(clk);
+}
+
+double
+checkedFormatting(double v)
+{
+    char buf[64];
+    const int n = std::snprintf(buf, sizeof(buf), "%.6g", v);
+    if (n < 0 || static_cast<std::size_t>(n) >= sizeof(buf))
+        return 0.0;
+    if (std::snprintf(buf, sizeof(buf), "%d", 7) != 1)
+        return 0.0;
+    return parseBack(buf);
+}
+
+int
+returnedFormatting(char *buf, std::size_t size)
+{
+    // A returned result is the caller's to check.
+    return std::snprintf(buf, size, "%d", 42);
+}
+
+double
+orderedContainersAreFine(const std::vector<double> &v,
+                         const std::map<int, double> &m)
+{
+    double total = std::accumulate(v.begin(), v.end(), 0.0);
+    for (const auto &kv : m)
+        total += kv.second;
+    return total;
+}
+
+void
+projectAssertIsFine(int n)
+{
+    FASTCAP_ASSERT(n >= 0);
+    static_assert(sizeof(long) >= 8, "need 64-bit long");
+}
+
+} // namespace fastcap

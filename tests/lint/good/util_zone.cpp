@@ -1,0 +1,41 @@
+// fastcap-lint corpus (good): src/util is exempt from R1/R2/R4 —
+// wall-clock helpers, entropy shims and float math live there by
+// design. R3 and R5 still apply (none triggered here).
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/util/example.cpp
+
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fastcap {
+
+double
+wallSeconds()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int
+ambientSeed()
+{
+    return rand();
+}
+
+float
+singlePrecisionHelper(float x)
+{
+    return x * 0.5f;
+}
+
+int
+countEntries(const std::unordered_map<int, int> &m)
+{
+    int n = 0;
+    for (const auto &kv : m)
+        n += kv.second;
+    return n;
+}
+
+} // namespace fastcap

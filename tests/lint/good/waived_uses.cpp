@@ -1,0 +1,57 @@
+// fastcap-lint corpus (good): correctly waived uses must be clean.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/example.cpp
+
+#include <cstdio>
+#include <iterator>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fastcap {
+
+// A waiver on a comment-only line applies to the next code line.
+// fastcap-lint: order-insensitive(keyed memo, never iterated)
+std::unordered_map<int, double> weights;
+
+// fastcap-lint: order-insensitive(alias used only for keyed lookups)
+using Memo = std::unordered_map<unsigned long, unsigned long>;
+
+double
+sumWaived()
+{
+    double total = 0.0;
+    // fastcap-lint: order-insensitive(reduced via sorted key snapshot)
+    for (const auto &kv : weights)
+        total += kv.second;
+    return total;
+}
+
+double
+multiLineStatementWaiver()
+{
+    double total = 0.0;
+    // The waiver may sit on any line of the offending statement.
+    for (const auto &kv :
+         weights) { // fastcap-lint: order-insensitive(count only)
+        total += kv.second;
+    }
+    return total;
+}
+
+long
+waivedHandoff()
+{
+    // fastcap-lint: order-insensitive(distance is order-free)
+    return std::distance(weights.begin(), weights.end());
+}
+
+double
+commaSeparatedWaivers()
+{
+    // fastcap-lint: order-insensitive(scratch, drained sorted), wall-clock(unused here)
+    std::unordered_set<int> scratch;
+    return static_cast<double>(scratch.size());
+}
+
+} // namespace fastcap

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -36,7 +38,12 @@ class BudgetTraceStreaming : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        path = ::testing::TempDir() + "fastcap_budget_1m.csv";
+        // Per-process name: ctest runs every TEST_F of this suite as
+        // its own process (gtest_discover_tests), so a shared fixed
+        // path races under `ctest -j` — one process's teardown
+        // remove() can delete the file another is still re-reading.
+        path = ::testing::TempDir() + "fastcap_budget_1m." +
+               std::to_string(::getpid()) + ".csv";
         std::FILE *f = std::fopen(path.c_str(), "w");
         ASSERT_NE(f, nullptr);
         std::fprintf(f, "time_s,fraction\n");

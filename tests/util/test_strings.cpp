@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the string helpers, most importantly the checked
+ * formatting primitive the R3 lint rule points every fixed-buffer
+ * snprintf at: truncation must panic, never pass silently (the
+ * PR 4 peak-power cache-key bug class).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(CheckedSnprintf, FormatsAndReturnsLength)
+{
+    char buf[32];
+    const int n = checkedSnprintf(buf, sizeof(buf), "%.6g", 0.25);
+    EXPECT_EQ(n, 4);
+    EXPECT_STREQ(buf, "0.25");
+}
+
+TEST(CheckedSnprintf, ExactFitIsStillAFullBuffer)
+{
+    // 5 characters + terminator exactly fills a 6-byte buffer.
+    char buf[6];
+    EXPECT_EQ(checkedSnprintf(buf, sizeof(buf), "%d", 12345), 5);
+    EXPECT_STREQ(buf, "12345");
+}
+
+TEST(CheckedSnprintf, TruncationPanics)
+{
+    char buf[8];
+    EXPECT_THROW(checkedSnprintf(buf, sizeof(buf), "%.6f", 1e300),
+                 PanicError);
+    // One byte short: would need 8 chars + NUL.
+    EXPECT_THROW(checkedSnprintf(buf, sizeof(buf), "%08d", 7),
+                 PanicError);
+}
+
+TEST(Trimmed, StripsAsciiWhitespace)
+{
+    EXPECT_EQ(trimmed("  a b\t\r"), "a b");
+    EXPECT_EQ(trimmed("\t \r"), "");
+    EXPECT_EQ(trimmed("x"), "x");
+}
+
+TEST(ParseDouble, StrictFullStringParse)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("2.5e-3", v));
+    EXPECT_EQ(v, 2.5e-3);
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("1.0x", v));
+    EXPECT_FALSE(parseDouble("nan", v));
+    EXPECT_FALSE(parseDouble("inf", v));
+}
+
+} // namespace
+} // namespace fastcap

@@ -68,6 +68,25 @@ TEST(AsciiTable, NumHelperPrecision)
     EXPECT_EQ(AsciiTable::num(1.0, 0), "1");
 }
 
+// Regression for the format-truncation sweep (lint rule R3): %.6f of
+// 1e300 needs over 300 characters, which used to be silently cut at
+// the 64-byte stack buffer — rendering a wrong number. The slow path
+// must re-measure and return the full expansion.
+TEST(AsciiTable, NumExtremeMagnitudeNotTruncated)
+{
+    const std::string s = AsciiTable::num(1e300, 6);
+    EXPECT_GT(s.size(), 300u);
+    EXPECT_EQ(s.substr(s.size() - 7), ".000000");
+    // The decimal expansion of a binary double is exact, so parsing
+    // it back must reproduce the value bit for bit.
+    EXPECT_EQ(std::stod(s), 1e300);
+
+    const std::string neg = AsciiTable::num(-1e308, 2);
+    EXPECT_GT(neg.size(), 300u);
+    EXPECT_EQ(neg.front(), '-');
+    EXPECT_EQ(std::stod(neg), -1e308);
+}
+
 TEST(AsciiTable, CountsRowsAndColumns)
 {
     AsciiTable t({"a", "b", "c"});
