@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Rack-scale capping throughput: the headline 64-machine x 1024-core
+ * oversubscribed rack (65,536 cores under one budget) stepped through
+ * whole cluster epochs — arbitration, dispatch, 64 machine epochs,
+ * collection — under the two routine stress scenarios, a flash crowd
+ * and a machine failure with restore.
+ *
+ * items_per_second is *cluster epochs per second*;
+ * tools/check_overhead.py tracks it against bench/rack_baseline.json:
+ *
+ *   bench_rack --benchmark_out=BENCH_rack.json \
+ *              --benchmark_out_format=json
+ *   check_overhead.py BENCH_rack.json bench/rack_baseline.json
+ *
+ * Machine stepping and shard workers are pinned to 1 so the numbers
+ * are single-thread host-portable; the cluster determinism tier (not
+ * this bench) owns the parallel-equals-serial story. Iteration counts
+ * are fixed because each epoch costs seconds and the failure schedule
+ * is phrased in epoch numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+ClusterConfig
+rackConfig()
+{
+    ClusterConfig cfg;
+    cfg.machines = 64;
+    cfg.machine = SimConfig::defaultConfig(1024);
+    cfg.machine.seed = 0xbe7c4a5eULL;
+    cfg.rackBudgetFraction = 0.6; // oversubscribed
+    cfg.maxEpochs = 1 << 30;      // the bench owns the epoch count
+    cfg.machineThreads = 1;
+    cfg.shardThreads = 1;
+    return cfg;
+}
+
+/** Flash crowd: arrival rate spikes 5x mid-run across the rack. */
+void
+BM_RackFlashCrowd(benchmark::State &state)
+{
+    ClusterConfig cfg = rackConfig();
+    cfg.trace = "gen:flash,rate=4000,horizon=0.1,max-cores=128,"
+                "apps=swim+applu,flash-start=0.002,"
+                "flash-duration=0.02,flash-factor=5,seed=7";
+    Cluster cluster(cfg); // peak measurement stays out of the loop
+    for (auto _ : state) {
+        ClusterEpochRecord rec = cluster.step();
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+// Machines step on pool threads, so the bench thread's own CPU time
+// is meaningless: measure whole-process CPU and report throughput
+// against wall time.
+BENCHMARK(BM_RackFlashCrowd)
+    ->Iterations(3)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** A machine dies at epoch 1 and is restored at epoch 3. */
+void
+BM_RackMachineFailure(benchmark::State &state)
+{
+    ClusterConfig cfg = rackConfig();
+    cfg.trace = "gen:poisson,rate=2000,horizon=0.1,max-cores=128,"
+                "apps=swim+applu,seed=9";
+    cfg.failures = {{17, 1, 3}};
+    Cluster cluster(cfg);
+    for (auto _ : state) {
+        ClusterEpochRecord rec = cluster.step();
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RackMachineFailure)
+    ->Iterations(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

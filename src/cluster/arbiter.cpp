@@ -1,0 +1,105 @@
+#include "cluster/arbiter.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace fastcap {
+
+std::vector<Watts>
+arbitrateRackBudget(Watts rack_budget, const std::vector<Watts> &peaks,
+                    const std::vector<Watts> &demands,
+                    double floor_fraction)
+{
+    const std::size_t m = peaks.size();
+    if (demands.size() != m)
+        panic("arbitrateRackBudget: %zu demands for %zu machines",
+              demands.size(), m);
+    if (floor_fraction < 0.0 || floor_fraction >= 1.0)
+        fatal("arbitrateRackBudget: floor fraction %g not in [0, 1)",
+              floor_fraction);
+    if (rack_budget < 0.0)
+        fatal("arbitrateRackBudget: negative rack budget %g",
+              rack_budget);
+
+    std::vector<Watts> out(m, 0.0);
+    Watts total_peak = 0.0;
+    for (Watts p : peaks) {
+        if (p < 0.0)
+            fatal("arbitrateRackBudget: negative peak %g", p);
+        total_peak += p;
+    }
+    if (total_peak <= 0.0)
+        return out;
+    const Watts usable = std::min(rack_budget, total_peak);
+    if (usable <= 0.0)
+        return out;
+
+    // Floors: a guaranteed share keeps a machine whose demand
+    // collapsed last epoch from being starved this epoch (its load
+    // may have just arrived). Scaled down uniformly when the budget
+    // cannot honour them in full.
+    Watts floor_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        floor_sum += floor_fraction * peaks[i];
+    const double floor_scale =
+        floor_sum > usable ? usable / floor_sum : 1.0;
+    Watts granted = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        out[i] = floor_fraction * peaks[i] * floor_scale;
+        granted += out[i];
+    }
+
+    // Distribute the remainder demand-proportionally, clamping at
+    // each machine's peak and redistributing the overflow. Each round
+    // either saturates at least one machine or hands out everything,
+    // so m rounds suffice; fixed iteration order keeps the result
+    // independent of any threading above.
+    Watts left = usable - granted;
+    std::vector<bool> capped(m, false);
+    std::vector<double> w(m, 0.0);
+    for (std::size_t round = 0; round < m && left > 0.0; ++round) {
+        double wsum = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            w[i] = 0.0;
+            if (capped[i] || peaks[i] <= 0.0)
+                continue;
+            w[i] = std::max(demands[i] - out[i], 0.0);
+            wsum += w[i];
+        }
+        if (wsum <= 0.0) {
+            // No residual demand anywhere: fill headroom-
+            // proportionally so the budget is still conserved.
+            for (std::size_t i = 0; i < m; ++i) {
+                w[i] = 0.0;
+                if (capped[i] || peaks[i] <= 0.0)
+                    continue;
+                w[i] = std::max(peaks[i] - out[i], 0.0);
+                wsum += w[i];
+            }
+        }
+        if (wsum <= 0.0)
+            break; // everyone at peak: usable == total_peak exactly
+        Watts spent = 0.0;
+        bool saturated = false;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (w[i] <= 0.0)
+                continue;
+            Watts give = left * (w[i] / wsum);
+            const Watts room = peaks[i] - out[i];
+            if (give >= room) {
+                give = room;
+                capped[i] = true;
+                saturated = true;
+            }
+            out[i] += give;
+            spent += give;
+        }
+        left -= spent;
+        if (!saturated)
+            break; // nothing clamped: the whole remainder went out
+    }
+    return out;
+}
+
+} // namespace fastcap

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Rack-level budget arbitration.
+ *
+ * Each epoch the cluster re-divides the rack budget across its
+ * machines from the demand they reported for the previous epoch —
+ * the same measure-then-allocate structure FastCap applies across
+ * cores, lifted one level up the power hierarchy. The arbiter is a
+ * pure function of its arguments, evaluated in fixed machine order,
+ * so the division is bit-identical for any machine-thread count.
+ */
+
+#ifndef FASTCAP_CLUSTER_ARBITER_HPP
+#define FASTCAP_CLUSTER_ARBITER_HPP
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace fastcap {
+
+/**
+ * Divide a rack budget across machines.
+ *
+ * Every live machine (peak > 0) first receives a floor of
+ * `floor_fraction` of its peak (scaled down proportionally if the
+ * floors alone exceed the budget); the remainder is split in
+ * proportion to residual demand (demand above the current grant),
+ * falling back to headroom-proportional shares when no machine
+ * reports residual demand. Grants are clamped at each machine's peak
+ * and the overflow redistributed, so the returned grants sum to
+ * min(rack_budget, sum of peaks) — the arbiter conserves the budget
+ * exactly (up to rounding): it neither strands watts the rack could
+ * use nor allocates watts it does not have.
+ *
+ * Dead machines are passed with peak 0 and receive exactly 0.
+ *
+ * @param rack_budget    total watts available to the rack
+ * @param peaks          per-machine measured peak (0 = dead)
+ * @param demands        per-machine previous-epoch demand, watts
+ * @param floor_fraction guaranteed share of peak per live machine,
+ *                       in [0, 1)
+ * @return per-machine grants, same order as `peaks`
+ */
+std::vector<Watts> arbitrateRackBudget(Watts rack_budget,
+                                       const std::vector<Watts> &peaks,
+                                       const std::vector<Watts> &demands,
+                                       double floor_fraction);
+
+} // namespace fastcap
+
+#endif // FASTCAP_CLUSTER_ARBITER_HPP

@@ -132,7 +132,11 @@ ExperimentRunner::ExperimentRunner(SimConfig sim_cfg,
     if (_cfg.peakPowerOverride > 0.0)
         _peakPower = _cfg.peakPowerOverride;
     else if (_cfg.measurePeak)
-        _peakPower = measuredPeakPower(_simCfg);
+        // Measure on the engine this run executes on: the budget
+        // denominator must come from the same contention model as
+        // the epoch powers it is compared against.
+        _peakPower = measuredPeakPower(
+            _simCfg, EngineConfig{_cfg.shards, _cfg.shardThreads});
     else
         _peakPower = _system->nameplatePeakPower();
 
@@ -165,6 +169,12 @@ ExperimentRunner::budgetFraction(double fraction)
     if (fraction <= 0.0 || fraction > 1.0)
         fatal("budgetFraction must be in (0, 1]");
     _cfg.budgetFraction = fraction;
+}
+
+void
+ExperimentRunner::swapApp(int core, const AppProfile &app)
+{
+    _system->swapApp(core, app);
 }
 
 Watts
@@ -405,6 +415,12 @@ ExperimentRunner::step()
     rec.evaluations = dec.evaluations;
     rec.budgetSaturated = dec.budgetSaturated;
     rec.utilisationClamped = dec.utilisationClamped;
+    if (_traceReplayer) {
+        const TraceReplayStats &ts = _traceReplayer->stats();
+        rec.traceDropped = ts.dropped - _lastDropped;
+        rec.tracePending = _traceReplayer->pending();
+        _lastDropped = ts.dropped;
+    }
     rec.coreFreqIdx.resize(static_cast<std::size_t>(n));
     rec.ips.resize(static_cast<std::size_t>(n));
 

@@ -118,6 +118,16 @@ struct EpochRecord
     bool budgetSaturated = false;
     /** Solve ran outside the queuing model's validity domain. */
     bool utilisationClamped = false;
+    /**
+     * Trace-replay load shedding, surfaced per epoch: arrivals shed
+     * this epoch because the pending queue was full, and the queue
+     * depth after this epoch's replay step. Zero for trace-less runs.
+     * Overload used to be visible only as a cumulative counter at the
+     * end of the run; a capped machine that sheds for ten epochs and
+     * recovers looked identical to one that shed everything up front.
+     */
+    std::size_t traceDropped = 0;
+    std::size_t tracePending = 0;
 };
 
 /** Per-application outcome. */
@@ -200,6 +210,13 @@ class ExperimentRunner
     void budgetFraction(double fraction);
     double budgetFraction() const { return _cfg.budgetFraction; }
 
+    /**
+     * Replace the application on one core (cluster dispatch, external
+     * replayers). The core's AppResult keeps tracking the original
+     * instruction target, as with scenario workload events.
+     */
+    void swapApp(int core, const AppProfile &app);
+
     /** The engine driving this run (monolithic or sharded). */
     const SimBackend &system() const { return *_system; }
     Watts peakPower() const { return _peakPower; }
@@ -237,6 +254,8 @@ class ExperimentRunner
     std::size_t _nextWorkloadEvent = 0;
     /** Streams scenario.trace onto the cores (null = no trace). */
     std::unique_ptr<TraceReplayer> _traceReplayer;
+    /** Cumulative shed count at the previous epoch boundary. */
+    std::size_t _lastDropped = 0;
     int _epoch = 0;
     std::vector<AppResult> _apps;
     std::vector<EpochRecord> _epochLog;

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "sim/engine/backend.hpp"
 #include "sim/system.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
@@ -18,6 +19,25 @@
 namespace fastcap {
 
 namespace {
+
+/**
+ * The engine the auto rule (or a forced shard count) resolves to.
+ * Only the *name* enters the cache key: shard and thread counts are
+ * bit-irrelevant on the sharded engine, but the two engines model
+ * memory contention differently, so their measurements must never
+ * alias. This is the fix for the historical bug where >64-core peaks
+ * were measured through the monolithic path while the experiment ran
+ * sharded — and where a forced-shard small-system run budgeted
+ * against a monolithic peak under an engine-blind key.
+ */
+const char *
+resolvedEngineName(const SimConfig &cfg, const EngineConfig &engine)
+{
+    if (engine.shards == 0 &&
+        cfg.numCores <= EngineConfig::kAutoMonolithicLimit)
+        return "monolithic";
+    return "sharded";
+}
 
 /** FNV-1a over the bit patterns of a list of doubles. */
 std::uint64_t
@@ -75,7 +95,8 @@ cache()
 } // namespace
 
 std::string
-peakPowerCacheKey(const SimConfig &cfg, int epochs)
+peakPowerCacheKey(const SimConfig &cfg, const EngineConfig &engine,
+                  int epochs)
 {
     // Measure-then-format: a fixed buffer would silently truncate on
     // extreme-magnitude config values (e.g. %.3f of a 1e300 dynMax
@@ -85,7 +106,7 @@ peakPowerCacheKey(const SimConfig &cfg, int epochs)
         "n=%d mode=%d ctrl=%d banks=%d burst=%.4f "
         "cdyn=%.3f cst=%.3f sf=%.3f ae=%.3g if=%.3f mc=%.3f "
         "mst=%.3f bg=%.3f il=%d skew=%.3f rh=%.3f "
-        "win=%.6g ep=%d dvfs=%016llx";
+        "win=%.6g ep=%d dvfs=%016llx eng=%s";
     const auto format = [&](char *buf, std::size_t size) {
         return std::snprintf(
             buf, size, fmt_str, cfg.numCores,
@@ -97,7 +118,8 @@ peakPowerCacheKey(const SimConfig &cfg, int epochs)
             cfg.memPower.staticPower, cfg.backgroundPower,
             static_cast<int>(cfg.interleave), cfg.skewHotFraction,
             cfg.rowHitRate, cfg.profileWindow, epochs,
-            static_cast<unsigned long long>(dvfsKey(cfg)));
+            static_cast<unsigned long long>(dvfsKey(cfg)),
+            resolvedEngineName(cfg, engine));
     };
     const int needed = format(nullptr, 0);
     if (needed < 0)
@@ -110,14 +132,21 @@ peakPowerCacheKey(const SimConfig &cfg, int epochs)
     return key;
 }
 
+std::string
+peakPowerCacheKey(const SimConfig &cfg, int epochs)
+{
+    return peakPowerCacheKey(cfg, EngineConfig{}, epochs);
+}
+
 Watts
-measuredPeakPower(const SimConfig &cfg, int epochs)
+measuredPeakPower(const SimConfig &cfg, const EngineConfig &engine,
+                  int epochs)
 {
     // Serializing the whole measurement keeps concurrent first
     // callers from duplicating work; cache hits only pay the lock.
     PeakCache &c = cache();
     LockGuard lock(c.mu);
-    const std::string key = peakPowerCacheKey(cfg, epochs);
+    const std::string key = peakPowerCacheKey(cfg, engine, epochs);
     auto it = c.entries.find(key);
     if (it != c.entries.end())
         return it->second;
@@ -130,25 +159,42 @@ measuredPeakPower(const SimConfig &cfg, int epochs)
     SimConfig mcfg = cfg;
     mcfg.seed = SimConfig().seed;
 
+    // Measure serially regardless of the caller's thread knob: the
+    // value is engine-dependent but thread-independent, and the
+    // measurement often runs under a sweep that owns the workers.
+    EngineConfig mengine = engine;
+    mengine.threads = 1;
+
     Watts peak = 0.0;
     // The compute-bound mixes draw the highest power; measuring the
-    // ILP class at max frequency gives the observed peak.
+    // ILP class at max frequency gives the observed peak. The
+    // measurement runs on the engine the experiment will use — a
+    // 1024-core sharded run must not budget against a peak the
+    // monolithic contention model produced.
     for (const std::string &wl : workloads::workloadsOfClass("ILP")) {
-        ManyCoreSystem system(mcfg, workloads::mix(wl, mcfg.numCores));
-        system.maxFrequencies();
+        auto system = makeSimBackend(
+            mcfg, workloads::mix(wl, mcfg.numCores), mengine);
+        system->maxFrequencies();
         for (int e = 0; e < epochs; ++e) {
             // Sampled window per epoch, mirroring the runner.
-            const WindowStats w = system.runWindow(mcfg.profileWindow);
+            const WindowStats w =
+                system->runWindow(mcfg.profileWindow);
             peak = std::max(peak, w.totalPower());
         }
     }
 
     if (peak <= 0.0)
         panic("measuredPeakPower: non-positive peak");
-    inform("measured peak power for %d cores: %.1f W", cfg.numCores,
-           peak);
+    inform("measured peak power for %d cores (%s engine): %.1f W",
+           cfg.numCores, resolvedEngineName(cfg, engine), peak);
     c.entries.emplace(key, peak);
     return peak;
+}
+
+Watts
+measuredPeakPower(const SimConfig &cfg, int epochs)
+{
+    return measuredPeakPower(cfg, EngineConfig{}, epochs);
 }
 
 void

@@ -17,27 +17,42 @@
 #include <string>
 
 #include "sim/config.hpp"
+#include "sim/engine/backend.hpp"
 #include "util/units.hpp"
 
 namespace fastcap {
 
 /**
  * Memoization key over every configuration field that influences the
- * measurement: power parameters, topology, DVFS ladders/voltages, and
- * the sampling window. Determinism of parallel sweeps rests on this
- * key being complete and collision-free — two configs that measure
- * differently must never share an entry, so the key is built at
- * whatever length the values demand (never truncated). Exposed for
+ * measurement: power parameters, topology, DVFS ladders/voltages, the
+ * sampling window, and — since the engines model contention
+ * differently — the *resolved* engine the measurement ran on
+ * ("monolithic" or "sharded", never the shard/thread counts, whose
+ * choice is bit-irrelevant). Determinism of parallel sweeps rests on
+ * this key being complete and collision-free — two configs that
+ * measure differently must never share an entry, so the key is built
+ * at whatever length the values demand (never truncated). Exposed for
  * the regression tests; callers want measuredPeakPower().
  */
+std::string peakPowerCacheKey(const SimConfig &cfg,
+                              const EngineConfig &engine,
+                              int epochs = 3);
+/** Auto-engine key (EngineConfig{}): monolithic <= 64 cores. */
 std::string peakPowerCacheKey(const SimConfig &cfg, int epochs = 3);
 
 /**
- * Observed peak full-system power for a configuration.
+ * Observed peak full-system power for a configuration, measured on
+ * the engine `engine` resolves to for this core count — the engine
+ * the experiment itself will run on, so the budget denominator and
+ * the measured epoch powers come from the same contention model.
  *
  * @param cfg    system configuration (frequencies forced to max)
+ * @param engine engine selection (EngineConfig{} = auto rule)
  * @param epochs measurement epochs per workload
  */
+Watts measuredPeakPower(const SimConfig &cfg,
+                        const EngineConfig &engine, int epochs = 3);
+/** Auto-engine measurement (EngineConfig{}). */
 Watts measuredPeakPower(const SimConfig &cfg, int epochs = 3);
 
 /** Drop the memoization cache (tests only). */

@@ -183,6 +183,15 @@ SweepGrid::scenarioName(std::size_t idx) const
     return scenarios[idx].name;
 }
 
+bool
+SweepGrid::hasTraceScenario() const
+{
+    for (const Scenario &sc : scenarios)
+        if (!sc.trace.empty())
+            return true;
+    return false;
+}
+
 std::size_t
 SweepGrid::runCount() const
 {
@@ -337,6 +346,10 @@ SweepResult::writeCsv(std::FILE *out) const
     // axis: constant-scenario output stays byte-identical to the
     // pre-scenario format.
     const bool with_scenario = grid.hasScenarioAxis();
+    // Replay-shedding columns only when a scenario carries a trace:
+    // they are meaningless (all-zero) otherwise, and constant-grid
+    // goldens must stay byte-identical.
+    const bool with_trace = grid.hasTraceScenario();
     CsvWriter csv(out);
     std::vector<std::string> header{
         "run", "config", "workload", "policy", "budget",
@@ -345,6 +358,10 @@ SweepResult::writeCsv(std::FILE *out) const
         "max_epoch_frac", "makespan_s", "mean_tpi_ns"};
     if (with_scenario)
         header.insert(header.begin() + 3, "scenario");
+    if (with_trace) {
+        header.push_back("trace_dropped");
+        header.push_back("trace_peak_pending");
+    }
     csv.header(header);
     for (const SweepRun &r : runs) {
         const ExperimentResult &res = r.result;
@@ -362,6 +379,10 @@ SweepResult::writeCsv(std::FILE *out) const
             fmt(res.makespan()), fmt(meanTpi(res) * 1e9)};
         if (with_scenario)
             row.insert(row.begin() + 3, r.point.scenario);
+        if (with_trace) {
+            row.push_back(std::to_string(res.trace.dropped));
+            row.push_back(std::to_string(res.trace.peakPending));
+        }
         csv.row(row);
     }
 }
@@ -370,16 +391,26 @@ void
 SweepResult::writeJson(std::FILE *out) const
 {
     const bool with_scenario = grid.hasScenarioAxis();
+    const bool with_trace = grid.hasTraceScenario();
     std::fprintf(out, "[\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const SweepRun &r = runs[i];
         const ExperimentResult &res = r.result;
-        // Scenario field mirrors the CSV: present only when the grid
-        // declares the axis, keeping constant-grid JSON unchanged.
+        // Scenario/trace fields mirror the CSV: present only when the
+        // grid declares the axis, keeping constant-grid JSON unchanged.
         std::string scenario_field;
         if (with_scenario)
             scenario_field = "\"scenario\": \"" +
                 jsonEscape(r.point.scenario) + "\", ";
+        std::string trace_fields;
+        if (with_trace) {
+            char buf[96];
+            checkedSnprintf(buf, sizeof(buf),
+                            ", \"trace_dropped\": %zu, "
+                            "\"trace_peak_pending\": %zu",
+                            res.trace.dropped, res.trace.peakPending);
+            trace_fields = buf;
+        }
         std::fprintf(
             out,
             "  {\"run\": %zu, \"config\": \"%s\", "
@@ -389,7 +420,7 @@ SweepResult::writeJson(std::FILE *out) const
             "\"saturated_epochs\": %d, "
             "\"peak_w\": %s, \"budget_w\": %s, \"avg_power_w\": %s, "
             "\"avg_power_frac\": %s, \"max_epoch_frac\": %s, "
-            "\"makespan_s\": %s, \"mean_tpi_ns\": %s}%s\n",
+            "\"makespan_s\": %s, \"mean_tpi_ns\": %s%s}%s\n",
             r.point.runIndex, jsonEscape(r.point.config).c_str(),
             jsonEscape(r.point.workload).c_str(),
             scenario_field.c_str(),
@@ -403,7 +434,7 @@ SweepResult::writeJson(std::FILE *out) const
             fmt(res.averagePowerFraction()).c_str(),
             fmt(res.maxEpochPowerFraction()).c_str(),
             fmt(res.makespan()).c_str(),
-            fmt(meanTpi(res) * 1e9).c_str(),
+            fmt(meanTpi(res) * 1e9).c_str(), trace_fields.c_str(),
             i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
@@ -467,9 +498,12 @@ SweepRunner::run()
 
     // Pre-measure every config's peak serially, in grid order: the
     // peak cache is shared, so populating it before the fan-out makes
-    // each run's budget independent of worker interleaving.
+    // each run's budget independent of worker interleaving. The
+    // engine selection matches the runs' (the cache key is
+    // engine-tagged), so the fan-out hits the cache, never measures.
     for (const SweepConfig &c : _grid.configs)
-        measuredPeakPower(c.sim);
+        measuredPeakPower(
+            c.sim, EngineConfig{_grid.shards, _grid.shardThreads});
 
     // fastcap-lint: wall-clock(operator-facing wallSeconds only)
     const auto t0 = std::chrono::steady_clock::now();

@@ -124,6 +124,8 @@ struct SweepGrid
 
     /** True when the grid declares explicit scenarios. */
     bool hasScenarioAxis() const { return !scenarios.empty(); }
+    /** True when any declared scenario carries a job trace. */
+    bool hasTraceScenario() const;
     /** Axis length including the implicit constant scenario. */
     std::size_t
     scenarioCount() const
@@ -190,8 +192,10 @@ struct SweepResult
      * One summary row per run: coordinates, seed, and the power /
      * completion metrics the figures consume. Deterministic given the
      * grid (no timing fields). Grids with an explicit scenario axis
-     * gain a `scenario` column after `workload`; without one, the
-     * format is unchanged from scenario-less builds.
+     * gain a `scenario` column after `workload`; grids whose scenarios
+     * carry a job trace additionally gain trailing
+     * `trace_dropped,trace_peak_pending` columns (replay shedding).
+     * Without those axes, the format is unchanged from older builds.
      */
     void writeCsv(std::FILE *out) const;
     /** Same rows as JSON (an array of run objects). */

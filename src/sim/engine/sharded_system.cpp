@@ -55,7 +55,6 @@ ShardedSystem::ShardedSystem(SimConfig cfg,
     // multiple of k_ctrl. Banks split the same way (floored at one;
     // they model latency, not the bandwidth bottleneck).
     _laneCfgs.reserve(static_cast<std::size_t>(k_ctrl));
-    _laneScales.reserve(static_cast<std::size_t>(k_ctrl));
     for (int c = 0; c < k_ctrl; ++c) {
         // A controller can be lane-less when numControllers exceeds
         // numCores (it then just idles, as on the monolithic engine);
@@ -68,7 +67,15 @@ ShardedSystem::ShardedSystem(SimConfig cfg,
         lane_cfg.banksPerController =
             std::max(1, _cfg.banksPerController / lanes);
         _laneCfgs.push_back(std::move(lane_cfg));
-        _laneScales.push_back(static_cast<double>(lanes));
+    }
+    // Every lane starts on the fair share of its controller's bus;
+    // redivideBandwidth() retunes these scales at window barriers.
+    _laneScale.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const int c = i % k_ctrl;
+        _laneScale[static_cast<std::size_t>(i)] = std::max(
+            1.0, static_cast<double>(n / k_ctrl +
+                                     (c < n % k_ctrl ? 1 : 0)));
     }
 
     const int k = std::clamp(shards, 1, n);
@@ -310,9 +317,11 @@ ShardedSystem::runWindow(Seconds duration)
             agg.bankBusyTime += lc.bankBusyTime;
             // Lane bus occupancy is in lane-bus seconds (the scaled
             // share); convert to logical-bus seconds so downstream
-            // utilisation math matches the monolithic engine's.
+            // utilisation math matches the monolithic engine's. The
+            // scale in effect *during* the window applies — the
+            // re-division below only shapes the next one.
             agg.busBusyTime += lc.busBusyTime /
-                _laneScales[static_cast<std::size_t>(c)];
+                _laneScale[static_cast<std::size_t>(i)];
         }
 
         MemWindowStats ms;
@@ -333,7 +342,59 @@ ShardedSystem::runWindow(Seconds duration)
 
     energy += _cfg.backgroundPower * duration;
     stats.totalEnergy = energy;
+
+    // Demand-driven bandwidth re-division at the barrier: the merged
+    // window's per-lane access counts decide next window's shares.
+    redivideBandwidth();
     return stats;
+}
+
+void
+ShardedSystem::redivideBandwidth()
+{
+    const int n = _cfg.numCores;
+    const int k_ctrl = _cfg.numControllers;
+    std::vector<double> demand;
+    std::vector<int> cores;
+    for (int c = 0; c < k_ctrl; ++c) {
+        demand.clear();
+        cores.clear();
+        double total = 0.0;
+        for (int i = c; i < n; i += k_ctrl) {
+            const ControllerCounters &lc =
+                lane(i).controller->counters();
+            const double d =
+                static_cast<double>(lc.reads + lc.writebacks);
+            demand.push_back(d);
+            cores.push_back(i);
+            total += d;
+        }
+        if (cores.size() < 2)
+            continue; // a single lane always owns the whole bus
+        const double lanes = static_cast<double>(cores.size());
+        // Idle controller: fall back to the fair share (also the
+        // weight every lane starts from, so an idle first window
+        // changes nothing).
+        // Floor at a tenth of the fair share: a cold lane keeps
+        // enough bandwidth to ramp back up, and weights stay
+        // positive. Renormalize so the shares sum to 1 — the merged
+        // logical-bus occupancy stays bounded by the window.
+        double wsum = 0.0;
+        std::vector<double> w(cores.size());
+        for (std::size_t j = 0; j < cores.size(); ++j) {
+            w[j] = total > 0.0
+                ? std::max(demand[j] / total, 0.1 / lanes)
+                : 1.0 / lanes;
+            wsum += w[j];
+        }
+        for (std::size_t j = 0; j < cores.size(); ++j) {
+            const double share = w[j] / wsum;
+            lane(cores[j]).controller->busBurstCycles(
+                _cfg.busBurstCycles / share);
+            _laneScale[static_cast<std::size_t>(cores[j])] =
+                1.0 / share;
+        }
+    }
 }
 
 double

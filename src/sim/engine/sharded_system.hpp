@@ -14,12 +14,19 @@
  * docs/ARCHITECTURE.md "Simulation engine"):
  *
  *   - Each core owns a private *memory lane*: a MemoryController
- *     carrying the core's fair share of its logical controller's bus
- *     (transfer time scaled by that controller's lane count, so the
- *     merged occupancy never exceeds the window) and at least one
- *     bank. Cross-core memory contention is represented by that
- *     static bandwidth share instead of simulated queueing, so lanes
- *     — and therefore shards — share no mutable state.
+ *     carrying a share of its logical controller's bus (transfer
+ *     time scaled so the merged occupancy never exceeds the window)
+ *     and at least one bank. Cross-core memory contention is
+ *     represented by that bandwidth share instead of simulated
+ *     queueing, so lanes — and therefore shards — share no mutable
+ *     state. The first window uses the fair 1/laneCount share; every
+ *     window barrier then re-divides each logical bus across its
+ *     lanes in proportion to the lanes' measured demand (reads +
+ *     writebacks) of the window just merged, floored at a tenth of
+ *     the fair share, so skewed workloads stop over-throttling hot
+ *     lanes. Weights are computed from merged per-lane counters on
+ *     the calling thread and always sum to 1 per controller —
+ *     determinism and the occupancy bound both survive re-division.
  *   - Core i maps to *logical* controller (i mod numControllers).
  *     Window stats aggregate the lanes of a logical controller (in
  *     ascending core order) back into numControllers
@@ -135,6 +142,14 @@ class ShardedSystem : public SimBackend
     const Lane &lane(int core) const;
     /** Advance one shard to t_end and finalize its window counters. */
     static void runShardWindow(Shard &shard, Seconds t_end);
+    /**
+     * Re-divide every logical bus across its lanes from the demand
+     * (reads + writebacks) the merged window measured. Runs on the
+     * calling thread at the window barrier; inputs are per-lane
+     * counters only, so the new weights are identical for every
+     * shard layout and thread count.
+     */
+    void redivideBandwidth();
 
     SimConfig _cfg;
     /**
@@ -148,8 +163,14 @@ class ShardedSystem : public SimBackend
      * keep references into this vector (sized once, never resized).
      */
     std::vector<SimConfig> _laneCfgs;
-    /** Lane-to-logical bus-occupancy scale, per logical controller. */
-    std::vector<double> _laneScales;
+    /**
+     * Lane-to-logical bus-occupancy scale per core: 1 / the lane's
+     * current bandwidth weight. Starts at the controller's lane count
+     * (the fair share) and is retuned by redivideBandwidth() at every
+     * window barrier. The merge divides a lane's bus busy time by the
+     * scale that was in effect during the window.
+     */
+    std::vector<double> _laneScale;
 
     std::vector<Shard> _shards;
     /** Core index -> owning shard, for O(1) lane lookup. */

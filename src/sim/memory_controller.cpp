@@ -9,7 +9,7 @@ namespace fastcap {
 MemoryController::MemoryController(int id, const SimConfig &cfg,
                                    EventQueue &queue, Rng rng)
     : _id(id), _cfg(cfg), _queue(queue), _rng(rng),
-      _busFreq(cfg.memLadder.max())
+      _busFreq(cfg.memLadder.max()), _busBurstCycles(cfg.busBurstCycles)
 {
     _banks.reserve(static_cast<std::size_t>(cfg.banksPerController));
     for (int b = 0; b < cfg.banksPerController; ++b)
@@ -22,6 +22,14 @@ MemoryController::busFrequency(Hertz f)
     if (f <= 0.0)
         panic("MemoryController: non-positive bus frequency");
     _busFreq = f;
+}
+
+void
+MemoryController::busBurstCycles(double cycles)
+{
+    if (cycles <= 0.0)
+        panic("MemoryController: non-positive bus burst cycles");
+    _busBurstCycles = cycles;
 }
 
 Seconds

@@ -99,8 +99,18 @@ class MemoryController
     void busFrequency(Hertz f);
     Hertz busFrequency() const { return _busFreq; }
 
+    /**
+     * Bus cycles one cache-line transfer occupies. Initialized from
+     * the config; the sharded engine's per-epoch bandwidth
+     * re-division retunes it at window barriers (a larger value
+     * models a smaller share of the logical bus). Takes effect for
+     * new transfers.
+     */
+    void busBurstCycles(double cycles);
+    double busBurstCycles() const { return _busBurstCycles; }
+
     /** Transfer time of one cache line at the current frequency. */
-    Seconds transferTime() const { return _cfg.busBurstCycles / _busFreq; }
+    Seconds transferTime() const { return _busBurstCycles / _busFreq; }
 
     /** Transfer time at an arbitrary frequency (for peak-power calc). */
     Seconds
@@ -144,6 +154,7 @@ class MemoryController
     EventQueue &_queue;
     Rng _rng;
     Hertz _busFreq = 0.0;
+    double _busBurstCycles = 0.0;
     std::vector<MemoryBank> _banks;
     MemoryBus _bus;
     DeliveryFn _deliver;

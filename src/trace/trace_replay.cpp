@@ -32,12 +32,18 @@ TraceReplayer::TraceReplayer(std::unique_ptr<TraceSource> source,
 void
 TraceReplayer::fetch()
 {
-    if (_haveNext || _srcDone)
+    // Re-poll an exhausted source rather than latching EOF: a file
+    // source keeps returning false (TraceReader tolerates reads past
+    // the end), while a push-fed queue source may have new events
+    // since the last poll.
+    if (_haveNext)
         return;
-    if (_src->next(_next))
+    if (_src->next(_next)) {
         _haveNext = true;
-    else
+        _srcDone = false;
+    } else {
         _srcDone = true;
+    }
 }
 
 bool
@@ -88,6 +94,7 @@ TraceReplayer::admit(Seconds t, const SwapFn &swap)
         // not the trace: overload is recorded, not accumulated.
         ++_stats.dropped;
     } else {
+        _backlogCores += _next.cores;
         _pending.push_back(std::move(_next));
         _stats.peakPending =
             std::max(_stats.peakPending, _pending.size());
@@ -108,6 +115,7 @@ TraceReplayer::drainPending(Seconds t, const SwapFn &swap)
                _freeCores.size()) {
         const TraceEvent ev = std::move(_pending.front());
         _pending.pop_front();
+        _backlogCores -= ev.cores;
         const AppProfile &app = workloads::profile(ev.app);
         Job job;
         job.seq = _seq++;

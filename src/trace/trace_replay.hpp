@@ -79,6 +79,14 @@ class TraceReplayer
     const TraceReplayStats &stats() const { return _stats; }
     std::size_t running() const { return _running.size(); }
     std::size_t pending() const { return _pending.size(); }
+    /** Cores currently occupied by placed jobs. */
+    int
+    busyCores() const
+    {
+        return _numCores - static_cast<int>(_freeCores.size());
+    }
+    /** Summed core demand of the pending (admitted, unplaced) jobs. */
+    int backlogCores() const { return _backlogCores; }
 
   private:
     struct Job
@@ -108,8 +116,16 @@ class TraceReplayer
     std::size_t _maxPending = 0;
     TraceEvent _next;
     bool _haveNext = false;
+    /**
+     * The source had no event at the last poll. Unlike an EOF latch,
+     * this is re-checked on every advanceTo(): push-fed sources (the
+     * cluster dispatcher's per-machine queues) legitimately alternate
+     * between empty and non-empty, and a file source just keeps
+     * answering "no".
+     */
     bool _srcDone = false;
     std::uint64_t _seq = 0;
+    int _backlogCores = 0; //!< summed core demand of _pending
     std::set<int> _freeCores; //!< ordered: lowest index first
     std::priority_queue<Job, std::vector<Job>, JobAfter> _running;
     std::deque<TraceEvent> _pending;

@@ -1,0 +1,38 @@
+# Runs the fastcap_cluster CLI twice — serial machine stepping and
+# 8-way machine-parallel stepping — over the same flash-crowd +
+# machine-failure rack, and demands byte-identical CSV output.
+# This is the end-to-end (process-level) counterpart of the
+# Cluster.BitIdenticalAcrossMachineThreadsAndShards unit test.
+#
+# Expected -D variables:
+#   CLUSTER  path to the fastcap_cluster executable
+#   OUTDIR   scratch directory for the two CSVs
+
+set(common
+  --machines 4 --cores 16 --budget 0.5 --max-epochs 8
+  --floor 0.05 --fail "2@3:6"
+  --trace "gen:flash,rate=300,horizon=0.2,max-cores=8,apps=swim+applu,flash-start=0.005,flash-duration=0.02,flash-factor=6,seed=11")
+
+foreach(threads 1 8)
+  execute_process(
+    COMMAND ${CLUSTER} ${common} --machine-threads ${threads}
+      --csv ${OUTDIR}/cluster_t${threads}.csv
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "fastcap_cluster --machine-threads ${threads} failed (${rc}):\n"
+      "${out}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUTDIR}/cluster_t1.csv ${OUTDIR}/cluster_t8.csv
+  RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR
+    "cluster CSV differs between --machine-threads 1 and 8: "
+    "the rack run is not deterministic across machine parallelism")
+endif()

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the rack budget arbiter: conservation (grants sum
+ * to exactly what the rack can use), floors, peak clamping with
+ * redistribution, dead machines, and the zero-demand fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "cluster/arbiter.hpp"
+#include "util/logging.hpp"
+
+namespace fastcap {
+namespace {
+
+double
+sum(const std::vector<Watts> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(Arbiter, ConservesBudgetAcrossDemandPatterns)
+{
+    const std::vector<Watts> peaks{100.0, 100.0, 100.0, 100.0};
+    for (const std::vector<Watts> &demands :
+         std::vector<std::vector<Watts>>{
+             {90.0, 10.0, 50.0, 30.0},
+             {0.0, 0.0, 0.0, 0.0},
+             {100.0, 100.0, 100.0, 100.0},
+             {400.0, 1.0, 1.0, 1.0},
+             {13.7, 92.4, 55.1, 68.9}}) {
+        for (Watts rack : {40.0, 250.0, 399.0, 400.0, 1000.0}) {
+            const std::vector<Watts> out =
+                arbitrateRackBudget(rack, peaks, demands, 0.05);
+            const Watts usable = std::min(rack, sum(peaks));
+            EXPECT_NEAR(sum(out), usable, 1e-9 * usable)
+                << "rack=" << rack;
+            for (std::size_t i = 0; i < out.size(); ++i)
+                EXPECT_LE(out[i], peaks[i] + 1e-9) << "i=" << i;
+        }
+    }
+}
+
+TEST(Arbiter, FloorsGuaranteeAMinimumShare)
+{
+    // Machine 0 reported no demand; the floor still carries it.
+    const std::vector<Watts> peaks{100.0, 100.0};
+    const std::vector<Watts> demands{0.0, 100.0};
+    const std::vector<Watts> out =
+        arbitrateRackBudget(120.0, peaks, demands, 0.1);
+    EXPECT_GE(out[0], 10.0 - 1e-9);
+    EXPECT_GT(out[1], out[0]);
+    EXPECT_NEAR(sum(out), 120.0, 1e-9);
+}
+
+TEST(Arbiter, FloorsScaleDownWhenBudgetCannotHonourThem)
+{
+    const std::vector<Watts> peaks{100.0, 100.0};
+    const std::vector<Watts> demands{50.0, 50.0};
+    // Floors would be 2 x 20 W; only 20 W exists in total.
+    const std::vector<Watts> out =
+        arbitrateRackBudget(20.0, peaks, demands, 0.2);
+    EXPECT_NEAR(out[0], 10.0, 1e-9);
+    EXPECT_NEAR(out[1], 10.0, 1e-9);
+}
+
+TEST(Arbiter, ClampsAtPeakAndRedistributes)
+{
+    // Machine 0 demands four times its peak: it must be clamped at
+    // peak and the overflow must reach the others.
+    const std::vector<Watts> peaks{50.0, 100.0, 100.0};
+    const std::vector<Watts> demands{200.0, 60.0, 20.0};
+    const std::vector<Watts> out =
+        arbitrateRackBudget(200.0, peaks, demands, 0.0);
+    EXPECT_NEAR(out[0], 50.0, 1e-9);
+    EXPECT_NEAR(sum(out), 200.0, 1e-9);
+    EXPECT_GT(out[1], out[2]); // residual demand ordering respected
+}
+
+TEST(Arbiter, DeadMachinesReceiveNothing)
+{
+    const std::vector<Watts> peaks{100.0, 0.0, 100.0};
+    const std::vector<Watts> demands{80.0, 0.0, 80.0};
+    const std::vector<Watts> out =
+        arbitrateRackBudget(300.0, peaks, demands, 0.05);
+    EXPECT_EQ(out[1], 0.0);
+    // Usable budget shrinks to the live peaks, not the rack's watts.
+    EXPECT_NEAR(sum(out), 200.0, 1e-9);
+    EXPECT_NEAR(out[0], 100.0, 1e-9);
+    EXPECT_NEAR(out[2], 100.0, 1e-9);
+}
+
+TEST(Arbiter, ZeroDemandFallsBackToHeadroomShares)
+{
+    // Nobody reports demand: the budget must still be handed out
+    // (headroom-proportionally), not stranded.
+    const std::vector<Watts> peaks{100.0, 50.0};
+    const std::vector<Watts> demands{0.0, 0.0};
+    const std::vector<Watts> out =
+        arbitrateRackBudget(90.0, peaks, demands, 0.0);
+    EXPECT_NEAR(sum(out), 90.0, 1e-9);
+    EXPECT_NEAR(out[0] / out[1], 2.0, 1e-6);
+}
+
+TEST(Arbiter, AllDeadYieldsAllZero)
+{
+    const std::vector<Watts> out = arbitrateRackBudget(
+        500.0, {0.0, 0.0}, {0.0, 0.0}, 0.05);
+    EXPECT_EQ(out[0], 0.0);
+    EXPECT_EQ(out[1], 0.0);
+}
+
+TEST(Arbiter, PureFunctionIsBitStable)
+{
+    const std::vector<Watts> peaks{71.3, 71.3, 71.3};
+    const std::vector<Watts> demands{33.3, 71.3, 5.1};
+    const std::vector<Watts> a =
+        arbitrateRackBudget(150.0, peaks, demands, 0.05);
+    const std::vector<Watts> b =
+        arbitrateRackBudget(150.0, peaks, demands, 0.05);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Arbiter, RejectsMalformedInputs)
+{
+    EXPECT_THROW(
+        arbitrateRackBudget(100.0, {1.0}, {1.0, 2.0}, 0.05),
+        PanicError);
+    EXPECT_THROW(
+        arbitrateRackBudget(100.0, {1.0}, {1.0}, 1.0), FatalError);
+    EXPECT_THROW(
+        arbitrateRackBudget(-1.0, {1.0}, {1.0}, 0.05), FatalError);
+    EXPECT_THROW(
+        arbitrateRackBudget(100.0, {-1.0}, {1.0}, 0.05), FatalError);
+}
+
+} // namespace
+} // namespace fastcap

@@ -127,6 +127,59 @@ TEST(PeakPower, CacheKeyDistinguishesOrdinaryConfigs)
     EXPECT_EQ(peakPowerCacheKey(base), peakPowerCacheKey(base));
 }
 
+// Regression (ISSUE 8): the measurement used to run on a monolithic
+// ManyCoreSystem regardless of what engine the experiment itself
+// selected, and the cache key ignored the engine entirely. Above the
+// 64-core auto-sharding limit the budget denominator therefore came
+// from a different contention model than the epochs being capped —
+// and a forced-shard small run could poison the cache for a later
+// monolithic run of the same config.
+TEST(PeakPower, EngineIsPartOfTheCacheKey)
+{
+    const SimConfig cfg = SimConfig::defaultConfig(16);
+    const std::string auto_key = peakPowerCacheKey(cfg);
+    const std::string forced_key =
+        peakPowerCacheKey(cfg, EngineConfig{4, 1});
+    EXPECT_NE(auto_key.find("eng=monolithic"), std::string::npos);
+    EXPECT_NE(forced_key.find("eng=sharded"), std::string::npos);
+    EXPECT_NE(auto_key, forced_key)
+        << "engines model contention differently; their measured "
+           "peaks must never share a cache entry";
+
+    // Shard/thread *counts* are bit-irrelevant by the determinism
+    // contract, so they must NOT split the cache.
+    EXPECT_EQ(peakPowerCacheKey(cfg, EngineConfig{4, 1}),
+              peakPowerCacheKey(cfg, EngineConfig{8, 3}));
+}
+
+TEST(PeakPower, LargeConfigsMeasureOnTheShardedEngine)
+{
+    // 4096 cores auto-selects the sharded engine: the measurement
+    // must follow it there (and still produce a sane positive peak).
+    const SimConfig cfg = SimConfig::defaultConfig(4096);
+    EXPECT_NE(peakPowerCacheKey(cfg).find("eng=sharded"),
+              std::string::npos);
+
+    const Watts sharded = measuredPeakPower(
+        SimConfig::defaultConfig(128), EngineConfig{});
+    EXPECT_GT(sharded, 0.0);
+    // Engines agree on uncontended per-core power, so the sharded
+    // 128-core peak sits near 8x the monolithic 16-core peak.
+    const Watts mono16 = measuredPeakPower(SimConfig::defaultConfig(16));
+    EXPECT_NEAR(sharded / mono16, 8.0, 2.0);
+}
+
+TEST(PeakPower, ForcedEngineMatchesAutoAboveTheLimit)
+{
+    // Above kAutoMonolithicLimit the auto rule resolves to sharded,
+    // so an explicitly forced shard count must reuse the same entry.
+    const SimConfig cfg = SimConfig::defaultConfig(96);
+    EXPECT_EQ(peakPowerCacheKey(cfg),
+              peakPowerCacheKey(cfg, EngineConfig{2, 2}));
+    EXPECT_DOUBLE_EQ(measuredPeakPower(cfg),
+                     measuredPeakPower(cfg, EngineConfig{2, 2}));
+}
+
 TEST(PeakPower, PaperBandAt16Cores)
 {
     // Paper: 120 W at 16 cores. Our calibration lands in the same

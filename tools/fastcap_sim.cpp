@@ -135,11 +135,12 @@ main(int argc, char **argv)
 
         if (args.getFlag("epoch-csv")) {
             std::printf("\nepoch,core_w,mem_w,total_w,budget_w,"
-                        "mem_level\n");
+                        "mem_level,trace_dropped,trace_pending\n");
             for (const EpochRecord &e : res.epochs)
-                std::printf("%d,%.2f,%.2f,%.2f,%.2f,%zu\n", e.epoch,
-                            e.corePower, e.memPower, e.totalPower,
-                            e.budget, e.memFreqIdx);
+                std::printf("%d,%.2f,%.2f,%.2f,%.2f,%zu,%zu,%zu\n",
+                            e.epoch, e.corePower, e.memPower,
+                            e.totalPower, e.budget, e.memFreqIdx,
+                            e.traceDropped, e.tracePending);
         }
 
         if (args.getFlag("compare") && policy != "Uncapped") {

@@ -84,7 +84,7 @@ WAIVER_TAGS = {
 # feed experiment results: hash order, float rounding, or ambient
 # entropy here can break the bit-identity contract.
 RESULT_DIRS = ("src/core", "src/sim", "src/harness", "src/trace",
-               "src/policies")
+               "src/policies", "src/cluster")
 
 UNORDERED_TYPES = frozenset({
     "unordered_map", "unordered_set",
