@@ -1,7 +1,6 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cinttypes>
 #include <cstdlib>
 #include <set>
@@ -14,6 +13,7 @@
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wallclock.hpp"
 #include "workload/spec_table.hpp"
 
 namespace fastcap {
@@ -506,7 +506,7 @@ SweepRunner::run()
             c.sim, EngineConfig{_grid.shards, _grid.shardThreads});
 
     // fastcap-lint: wall-clock(operator-facing wallSeconds only)
-    const auto t0 = std::chrono::steady_clock::now();
+    const double t0 = wallSeconds();
     const std::size_t n = _grid.runCount();
 
     SweepResult result;
@@ -526,10 +526,7 @@ SweepRunner::run()
     // wallSeconds is console reporting only, never serialized into
     // the CSV/JSON results (the 1-vs-N-thread cmp gate depends on
     // that). fastcap-lint: wall-clock(operator-facing wallSeconds only)
-    result.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    result.wallSeconds = wallSeconds() - t0;
     return result;
 }
 

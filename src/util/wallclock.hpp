@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The one sanctioned wall-clock read in the tree.
+ *
+ * Result-affecting code must never depend on real time — the
+ * 1-vs-N-thread cmp gate requires byte-identical outputs. But the
+ * harness still reports elapsed wall time to the operator. Routing
+ * every such read through wallSeconds() keeps the call chains
+ * visible to the determinism taint pass (lint rule R6): each caller
+ * outside src/util carries an explicit `wall-clock(...)` lint
+ * waiver stating why the value cannot reach serialized results.
+ */
+
+#ifndef FASTCAP_UTIL_WALLCLOCK_HPP
+#define FASTCAP_UTIL_WALLCLOCK_HPP
+
+#include <chrono>
+
+namespace fastcap {
+
+/**
+ * Monotonic wall time in seconds, for operator-facing elapsed-time
+ * reporting only. The epoch is unspecified; only differences are
+ * meaningful. Never serialize the value into results.
+ */
+inline double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace fastcap
+
+#endif // FASTCAP_UTIL_WALLCLOCK_HPP

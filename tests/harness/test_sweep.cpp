@@ -445,5 +445,25 @@ TEST(SweepResult, JsonEscapesConfigNames)
               std::string::npos);
 }
 
+TEST(SweepResult, WallSecondsNeverReachesSerializedOutput)
+{
+    // Backs the wall-clock lint waivers in SweepRunner::run(): the
+    // elapsed time measured via util wallSeconds() is operator
+    // console output only. Two identical runs take different wall
+    // time, so any leak into the CSV or JSON breaks byte-identity
+    // here (and would break the 1-vs-N-thread cmp gate).
+    SweepGrid grid = smallGrid();
+    grid.workloads = {"ILP1"};
+    const SweepResult first = SweepRunner(grid, 2).run();
+    const SweepResult second = SweepRunner(grid, 2).run();
+    EXPECT_GT(first.wallSeconds, 0.0);
+    EXPECT_EQ(first.csvString(), second.csvString());
+    EXPECT_EQ(jsonString(first), jsonString(second));
+    EXPECT_EQ(first.csvString().find("wallSeconds"),
+              std::string::npos);
+    EXPECT_EQ(jsonString(first).find("wallSeconds"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace fastcap

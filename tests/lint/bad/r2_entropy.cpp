@@ -56,11 +56,12 @@ bareTwister()
     return static_cast<unsigned>(g());
 }
 
-// A syntactically valid waiver with the wrong tag does not silence R2.
+// A syntactically valid waiver with the wrong tag does not silence
+// R2 — and, suppressing nothing, it is itself stale (W1).
 long
 wrongTag()
 {
-    // fastcap-lint: order-insensitive(tag does not match rule R2)
+    // fastcap-lint: order-insensitive(tag does not match rule R2) EXPECT: W1
     return static_cast<long>(time(nullptr)); // EXPECT: R2
 }
 

@@ -1,0 +1,17 @@
+// fastcap-lint corpus (bad unit r6_taint): a one-hop launder in a
+// non-result src zone. Calling the clock here is not itself a
+// finding (R6 only fires on result-zone callers), but the taint
+// flows through: launderedClock() is as non-deterministic as the
+// clock it wraps.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/io/launder.hpp
+
+namespace fastcap {
+
+inline double
+launderedClock()
+{
+    return wallSecondsLike();
+}
+
+} // namespace fastcap

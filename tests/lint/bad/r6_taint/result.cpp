@@ -1,0 +1,45 @@
+// fastcap-lint corpus (bad unit r6_taint): result-zone callers of
+// the tainted helpers in util_src.hpp / launder.hpp. The uses are
+// invisible per-line (no banned token on these lines) — only the
+// cross-file taint pass can flag them.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/sim/use.cpp
+
+namespace fastcap {
+
+// Direct call into a util wall-clock source.
+double
+directClock()
+{
+    return wallSecondsLike(); // EXPECT: R6
+}
+
+// One-hop launder through src/io does not wash the taint out.
+double
+launderedUse()
+{
+    return launderedClock(); // EXPECT: R6
+}
+
+// Entropy taint.
+unsigned
+seeded()
+{
+    return ambientSeed(); // EXPECT: R6
+}
+
+// Unordered-iteration taint.
+long
+ordered()
+{
+    return orderSum(); // EXPECT: R6
+}
+
+// Calling a clean helper stays clean.
+double
+fine()
+{
+    return cleanAdd(1.0, 2.0);
+}
+
+} // namespace fastcap

@@ -1,0 +1,48 @@
+// fastcap-lint corpus (bad unit r6_taint): determinism-taint
+// sources defined in src/util. Per-line rules exempt util, so this
+// file is clean on its own — but every function here is a taint
+// source, and the result-zone callers in result.cpp must be flagged.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/util/clockish.hpp
+
+#include <unordered_set>
+
+namespace fastcap {
+
+// wall-clock source: legal to define here, tainted for callers.
+inline double
+wallSecondsLike()
+{
+    return static_cast<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch()
+                   .count()) *
+           1e-9;
+}
+
+// entropy source.
+inline unsigned
+ambientSeed()
+{
+    return static_cast<unsigned>(rand());
+}
+
+// unordered-iteration source.
+inline long
+orderSum()
+{
+    static std::unordered_set<long> seen{1, 2, 3};
+    long total = 0;
+    for (long v : seen)
+        total += v;
+    return total;
+}
+
+// A clean helper: calling this from result code is fine.
+inline double
+cleanAdd(double a, double b)
+{
+    return a + b;
+}
+
+} // namespace fastcap

@@ -1,0 +1,40 @@
+// fastcap-lint corpus: R7 — lock-order cycles. ab() takes a then b,
+// ba() takes b then a: a classic AB/BA deadlock. The cycle is
+// reported once, anchored at the smallest involved acquisition
+// site (the gb acquisition inside ab()). A double-acquire of the
+// same non-recursive mutex is a self-deadlock, reported per site.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/sim/locky.cpp
+
+namespace fastcap {
+
+struct Pair {
+    Mutex a;
+    Mutex b;
+    void ab();
+    void ba();
+    void twice();
+};
+
+void
+Pair::ab()
+{
+    LockGuard ga(a);
+    LockGuard gb(b); // EXPECT: R7
+}
+
+void
+Pair::ba()
+{
+    LockGuard gb(b);
+    LockGuard ga(a);
+}
+
+void
+Pair::twice()
+{
+    LockGuard g1(a);
+    LockGuard g2(a); // EXPECT: R7
+}
+
+} // namespace fastcap

@@ -13,7 +13,9 @@ namespace fastcap {
 
 /* EXPECT: W0 */ // fastcap-lint:
 
-/* EXPECT: W0 */ // fastcap-lint: order-insensitive(valid), entropy()
+// A valid entry next to a malformed one parses (W0 for the bad
+// part) but then suppresses nothing here, so it is also stale (W1).
+/* EXPECT: W0 W1 */ // fastcap-lint: order-insensitive(valid), entropy()
 
 int placeholder = 0;
 

@@ -1,0 +1,33 @@
+// fastcap-lint corpus: W1 — a waiver that suppresses nothing is
+// itself a finding, in both placements (own-line and end-of-line).
+// The used waiver in counted() shows the rule only bites stale
+// entries.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/stale.cpp
+
+#include <unordered_map>
+
+namespace fastcap {
+
+// fastcap-lint: order-insensitive(the container this covered is long gone) EXPECT: W1
+double
+plain()
+{
+    return 1.0;
+}
+
+double
+alsoPlain()
+{
+    return 2.0; // fastcap-lint: wall-clock(no clock on this line) EXPECT: W1
+}
+
+long
+counted()
+{
+    // fastcap-lint: order-insensitive(keyed count, never iterated)
+    std::unordered_map<int, int> m;
+    return static_cast<long>(m.size());
+}
+
+} // namespace fastcap

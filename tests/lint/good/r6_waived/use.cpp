@@ -1,0 +1,32 @@
+// fastcap-lint corpus (good unit r6_waived): a result-zone caller
+// may take the clock edge when it waives the call statement — the
+// waiver asserts the value never reaches emitted results. The
+// waiver also stops propagation, so timed() does not re-taint its
+// own callers.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/harness/use.cpp
+
+namespace fastcap {
+
+double
+timed()
+{
+    // fastcap-lint: wall-clock(operator-facing timing only; byte-compare gate proves results identical)
+    return wallSecondsLike();
+}
+
+// Calling through the waived function stays clean: the waived edge
+// does not propagate taint.
+double
+timedTwice()
+{
+    return timed() + timed();
+}
+
+double
+clean()
+{
+    return pureAdd(2.0, 3.0);
+}
+
+} // namespace fastcap

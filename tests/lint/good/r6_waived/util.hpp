@@ -1,0 +1,32 @@
+// fastcap-lint corpus (good unit r6_waived): util-zone taint
+// sources. Defining them here is legal, and util-internal callers
+// (twice) are exempt from R6 — only result-zone callers must waive.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/util/clockish.hpp
+
+namespace fastcap {
+
+inline double
+wallSecondsLike()
+{
+    return static_cast<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch()
+                   .count()) *
+           1e-9;
+}
+
+// util-internal use of a tainted helper: no waiver needed.
+inline double
+twice()
+{
+    return wallSecondsLike() * 2.0;
+}
+
+inline double
+pureAdd(double a, double b)
+{
+    return a + b;
+}
+
+} // namespace fastcap

@@ -1,0 +1,82 @@
+// fastcap-lint corpus (good): self-consistent lock ordering is not
+// a finding. Every path that holds both mutexes takes a before b;
+// scoped release and the UniqueLock unlock/relock pattern (as in
+// util/thread_pool's condition-variable wait) create no reversed
+// edge; a call made under a lock propagates one level into the
+// callee's acquisitions, which here agree with the global order.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/sim/ordered.cpp
+
+namespace fastcap {
+
+struct Ordered {
+    Mutex a;
+    Mutex b;
+    void both();
+    void bothAgain();
+    void scoped();
+    void waitish();
+    void helper();
+    void caller();
+    void work();
+};
+
+void
+Ordered::both()
+{
+    LockGuard ga(a);
+    LockGuard gb(b);
+}
+
+void
+Ordered::bothAgain()
+{
+    LockGuard ga(a);
+    LockGuard gb(b);
+}
+
+// The a-guard dies at its scope's end, so gb is acquired with
+// nothing held: no a->b edge, and crucially no b->a edge either.
+void
+Ordered::scoped()
+{
+    {
+        LockGuard ga(a);
+        work();
+    }
+    LockGuard gb(b);
+}
+
+// Condition-variable wait shape: the guard releases the mutex
+// before blocking and reacquires after; nothing else is held at
+// the reacquisition, so no edge forms.
+void
+Ordered::waitish()
+{
+    UniqueLock lk(a);
+    lk.unlock();
+    work();
+    lk.lock();
+}
+
+void
+Ordered::helper()
+{
+    LockGuard gb(b);
+}
+
+// One-level propagation: holding a while calling helper() yields
+// a -> b, consistent with both()'s direct ordering.
+void
+Ordered::caller()
+{
+    LockGuard ga(a);
+    helper();
+}
+
+void
+Ordered::work()
+{
+}
+
+} // namespace fastcap

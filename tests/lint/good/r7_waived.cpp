@@ -1,0 +1,32 @@
+// fastcap-lint corpus (good): a lock-order waiver on the reversed
+// acquisition removes that edge from the global graph, breaking the
+// would-be AB/BA cycle. The waiver is *used* (it killed an edge),
+// so no W1 fires either.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/sim/waived.cpp
+
+namespace fastcap {
+
+struct Init {
+    Mutex a;
+    Mutex b;
+    void ab();
+    void ba();
+};
+
+void
+Init::ab()
+{
+    LockGuard ga(a);
+    LockGuard gb(b);
+}
+
+void
+Init::ba()
+{
+    LockGuard gb(b);
+    // fastcap-lint: lock-order(runs single-threaded at startup, before any worker exists)
+    LockGuard ga(a);
+}
+
+} // namespace fastcap

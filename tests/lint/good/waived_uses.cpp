@@ -49,8 +49,10 @@ waivedHandoff()
 double
 commaSeparatedWaivers()
 {
-    // fastcap-lint: order-insensitive(scratch, drained sorted), wall-clock(unused here)
-    std::unordered_set<int> scratch;
+    // Both comma-separated entries must suppress something, or the
+    // stale one would be a W1 finding.
+    // fastcap-lint: order-insensitive(scratch, drained sorted), wall-clock(operator log only)
+    std::unordered_set<long> scratch{time(nullptr)};
     return static_cast<double>(scratch.size());
 }
 

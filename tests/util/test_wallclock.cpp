@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Tests for util/wallclock.hpp — the one sanctioned wall-clock read.
+ * The helper backs operator-facing elapsed-time reporting only; the
+ * regression here pins the properties the lint waivers rely on:
+ * monotonic, finite, and measured in seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/wallclock.hpp"
+
+namespace fastcap {
+namespace {
+
+TEST(WallClock, MonotonicNonDecreasing)
+{
+    const double a = wallSeconds();
+    const double b = wallSeconds();
+    const double c = wallSeconds();
+    EXPECT_LE(a, b);
+    EXPECT_LE(b, c);
+}
+
+TEST(WallClock, FiniteAndPositive)
+{
+    const double t = wallSeconds();
+    EXPECT_TRUE(std::isfinite(t));
+    // steady_clock's epoch is typically boot time; whatever the
+    // platform chose, a negative reading would break every elapsed
+    // computation downstream.
+    EXPECT_GE(t, 0.0);
+}
+
+TEST(WallClock, DeltaIsSecondsScale)
+{
+    // A tight loop of a few thousand iterations takes far less than
+    // ten seconds on any machine that can build this repo; a unit
+    // mix-up (milliseconds, ticks) would blow this bound apart.
+    const double t0 = wallSeconds();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i)
+        sink = sink + 1.0;
+    const double dt = wallSeconds() - t0;
+    EXPECT_GE(dt, 0.0);
+    EXPECT_LT(dt, 10.0);
+}
+
+} // namespace
+} // namespace fastcap

@@ -1,980 +1,20 @@
 #!/usr/bin/env python3
-"""fastcap_lint: project-specific static analysis for the FastCap tree.
+"""FastCap determinism & concurrency lint — compatibility entry point.
 
-Every headline claim this reproduction makes rests on source-level
-determinism invariants (fixed merge order, SplitMix64-only randomness,
-no wall clock in the simulation, checked format truncation). This pass
-moves those invariants from reviewer discipline into tooling. It is a
-real tokenizer, not a grep: it understands comments, string/char
-literals, raw strings, digit separators, preprocessor lines and brace
-scopes, so `"assert("` inside a string or `rand()` inside a comment
-never fire.
+The implementation lives in the ``fastcaplint`` package next to this
+file (tokenizer, per-file rules, symbol index, taint and lock-order
+passes). This shim keeps the historical invocation working:
 
-Rules (catalog and rationale in docs/STATIC_ANALYSIS.md):
-
-  R1  order-insensitive : no unordered_{map,set,multimap,multiset}
-      declaration, range-iteration, or begin()/end() handoff in
-      result-affecting code (src/core, src/sim, src/harness,
-      src/trace, src/policies) without a waiver proving the use
-      cannot leak hash-iteration order into results.
-  R2  entropy/wall-clock: no rand()/srand()/std::random_device/
-      std::mt19937/... and no std::chrono::*_clock / time() /
-      clock_gettime()/... outside src/util and tools/. Randomness
-      comes from util/rng (SplitMix64 streams); time from the sim
-      clock.
-  R3  format-checked    : sprintf/vsprintf are forbidden outright;
-      every snprintf/vsnprintf return value must be consumed (the
-      PR 4 cache-key-truncation bug class). `(void)` discards count
-      as unchecked.
-  R4  float-ok          : no `float` type or `f`-suffixed floating
-      literal in result-affecting code; solver/model/merge paths are
-      double-only by contract.
-  R5  raw-assert        : no raw assert()/<cassert> anywhere in src/;
-      use FASTCAP_ASSERT (panics, active in release) or fatal().
-  W0  waiver syntax     : malformed waivers (unknown tag, missing
-      reason) are themselves findings, so a typo cannot silently
-      disable a rule.
-
-Waiver syntax, on the offending line, anywhere inside the offending
-statement, or on an immediately preceding comment-only line:
-
-    // fastcap-lint: <tag>(<reason>)
-    // fastcap-lint: order-insensitive(keyed dedupe, never iterated)
-
-Multiple waivers may be comma-separated after one `fastcap-lint:`.
-The reason is mandatory.
-
-Exit status: 0 clean, 1 findings, 2 usage/self-test harness error.
+    python3 tools/lint/fastcap_lint.py --root .
+    python3 tools/lint/fastcap_lint.py --self-test tests/lint
 """
 
-import argparse
 import os
-import re
 import sys
 
-# --------------------------------------------------------------------
-# Rule metadata
-# --------------------------------------------------------------------
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-RULES = {
-    "R1": ("order-insensitive",
-           "unordered container in result-affecting code"),
-    "R2": ("entropy | wall-clock",
-           "ambient randomness or wall clock outside util/tools"),
-    "R3": ("format-checked",
-           "unchecked snprintf return / banned sprintf"),
-    "R4": ("float-ok",
-           "float in double-only solver/model/merge path"),
-    "R5": ("raw-assert",
-           "raw assert; use FASTCAP_ASSERT or fatal()"),
-    "W0": (None, "malformed fastcap-lint waiver"),
-}
-
-# Waiver tag -> rule it can silence.
-WAIVER_TAGS = {
-    "order-insensitive": "R1",
-    "entropy": "R2",
-    "wall-clock": "R2",
-    "format-checked": "R3",
-    "float-ok": "R4",
-    "raw-assert": "R5",
-}
-
-# Directories (relative to repo root, forward slashes) whose code can
-# feed experiment results: hash order, float rounding, or ambient
-# entropy here can break the bit-identity contract.
-RESULT_DIRS = ("src/core", "src/sim", "src/harness", "src/trace",
-               "src/policies", "src/cluster")
-
-UNORDERED_TYPES = frozenset({
-    "unordered_map", "unordered_set",
-    "unordered_multimap", "unordered_multiset",
-})
-
-# R2: banned qualified names (token sequences joined with '::').
-BANNED_QUALIFIED = {
-    "std::random_device": "entropy",
-    "std::mt19937": "entropy",
-    "std::mt19937_64": "entropy",
-    "std::default_random_engine": "entropy",
-    "std::minstd_rand": "entropy",
-    "std::minstd_rand0": "entropy",
-    "std::knuth_b": "entropy",
-    "std::chrono::steady_clock": "wall-clock",
-    "std::chrono::system_clock": "wall-clock",
-    "std::chrono::high_resolution_clock": "wall-clock",
-}
-# Unqualified spellings (after `using namespace std`, or C calls).
-BANNED_BARE_TYPES = {
-    "random_device": "entropy",
-    "mt19937": "entropy",
-    "mt19937_64": "entropy",
-    "steady_clock": "wall-clock",
-    "system_clock": "wall-clock",
-    "high_resolution_clock": "wall-clock",
-}
-# Bare identifiers that are banned only as *calls* (`name(`), and only
-# when not a member/qualified access (`x.time()` is fine).
-BANNED_CALLS = {
-    "rand": "entropy",
-    "srand": "entropy",
-    "random": "entropy",
-    "drand48": "entropy",
-    "time": "wall-clock",
-    "clock": "wall-clock",
-    "gettimeofday": "wall-clock",
-    "clock_gettime": "wall-clock",
-    "timespec_get": "wall-clock",
-}
-
-FORMAT_BANNED = frozenset({"sprintf", "vsprintf"})
-FORMAT_CHECKED = frozenset({"snprintf", "vsnprintf"})
-
-# Matches a floating literal with an f/F suffix. Hex integers like
-# 0x1F must not match: a hex *float* requires a p-exponent.
-FLOAT_LITERAL = re.compile(
-    r"^(?:"
-    r"(?:\d[\d']*\.[\d']*|\.\d[\d']*|\d[\d']*)(?:[eE][+-]?\d+)?"
-    r"|0[xX][0-9a-fA-F']*(?:\.[0-9a-fA-F']*)?[pP][+-]?\d+"
-    r")[fF]$")
-
-WAIVER_RE = re.compile(r"fastcap-lint\s*:\s*(?!zone)(.*)", re.DOTALL)
-WAIVER_ITEM_RE = re.compile(r"\s*([a-z][a-z0-9-]*)\s*\(([^()]*)\)\s*")
-ZONE_PRAGMA_RE = re.compile(r"fastcap-lint-zone\s*:\s*(\S+)")
-EXPECT_RE = re.compile(r"EXPECT:\s*((?:[RW]\d+\s*)+)")
-
-
-class Finding:
-    def __init__(self, path, line, col, rule, message, span=None,
-                 tag=None):
-        self.path = path
-        self.line = line          # 1-based line of the trigger token
-        self.col = col            # 1-based column
-        self.rule = rule
-        self.message = message
-        # Lines a waiver may sit on (the statement's extent).
-        self.span = span if span is not None else {line}
-        self.tag = tag            # preferred waiver tag, if not default
-
-    def render(self):
-        tag = self.tag or WAIVER_TAGS_BY_RULE.get(self.rule)
-        hint = ""
-        if tag:
-            hint = " [waive: // fastcap-lint: %s(reason)]" % tag
-        return "%s:%d:%d: [%s] %s%s" % (
-            self.path, self.line, self.col, self.rule, self.message,
-            hint)
-
-
-WAIVER_TAGS_BY_RULE = {}
-for _tag, _rule in WAIVER_TAGS.items():
-    WAIVER_TAGS_BY_RULE.setdefault(_rule, _tag)
-
-
-# --------------------------------------------------------------------
-# Lexer
-# --------------------------------------------------------------------
-
-class Token:
-    __slots__ = ("kind", "text", "line", "col")
-
-    def __init__(self, kind, text, line, col):
-        self.kind = kind  # 'id' | 'num' | 'punct' | 'pp'
-        self.text = text
-        self.line = line
-        self.col = col
-
-    def __repr__(self):
-        return "%s(%r)@%d:%d" % (self.kind, self.text, self.line,
-                                 self.col)
-
-
-class Comment:
-    __slots__ = ("text", "start_line", "end_line", "code_before")
-
-    def __init__(self, text, start_line, end_line, code_before):
-        self.text = text
-        self.start_line = start_line
-        self.end_line = end_line
-        # True when a code token precedes the comment on start_line.
-        self.code_before = code_before
-
-
-ID_START = frozenset(
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
-ID_CONT = ID_START | frozenset("0123456789")
-PUNCT3 = ("<<=", ">>=", "...", "->*")
-PUNCT2 = ("::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
-          "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--")
-
-
-def tokenize(text):
-    """Token, comment, and preprocessor-line streams for one file.
-
-    Comments, string literals and char literals produce no code
-    tokens. Preprocessor directives produce one 'pp' token carrying
-    the full (continuation-joined) directive text.
-    """
-    tokens = []
-    comments = []
-    n = len(text)
-    i = 0
-    line = 1
-    col = 1
-    line_has_code = {}  # line -> True once a code token starts there
-
-    def advance(k):
-        nonlocal i, line, col
-        for _ in range(k):
-            if i < n and text[i] == "\n":
-                line += 1
-                col = 1
-            else:
-                col += 1
-            i += 1
-
-    while i < n:
-        c = text[i]
-        # Whitespace
-        if c in " \t\r\n\f\v":
-            advance(1)
-            continue
-        # Line comment (respecting backslash continuation)
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            start_line, had_code = line, line_has_code.get(line, False)
-            buf = []
-            while i < n:
-                if text[i] == "\n":
-                    if buf and buf[-1] == "\\":
-                        buf.pop()
-                        advance(1)
-                        continue
-                    break
-                buf.append(text[i])
-                advance(1)
-            comments.append(Comment("".join(buf[2:]), start_line, line,
-                                    had_code))
-            continue
-        # Block comment
-        if c == "/" and i + 1 < n and text[i + 1] == "*":
-            start_line, had_code = line, line_has_code.get(line, False)
-            advance(2)
-            buf = []
-            while i < n and not (text[i] == "*" and i + 1 < n and
-                                 text[i + 1] == "/"):
-                buf.append(text[i])
-                advance(1)
-            advance(2)
-            comments.append(Comment("".join(buf), start_line, line,
-                                    had_code))
-            continue
-        # Preprocessor directive (only at start of a logical line)
-        if c == "#" and not line_has_code.get(line, False):
-            start_line, start_col = line, col
-            buf = []
-            while i < n:
-                if text[i] == "\n":
-                    if buf and buf[-1] == "\\":
-                        buf.pop()
-                        advance(1)
-                        continue
-                    break
-                # Comments inside directives end or skip them.
-                if (text[i] == "/" and i + 1 < n and
-                        text[i + 1] in "/*"):
-                    break
-                buf.append(text[i])
-                advance(1)
-            tokens.append(Token("pp", "".join(buf), start_line,
-                                start_col))
-            line_has_code[start_line] = True
-            continue
-        # Raw string literal
-        m = None
-        if c == "R" and i + 1 < n and text[i + 1] == '"':
-            m = re.match(r'R"([^\s()\\]{0,16})\(', text[i:i + 24])
-        if m:
-            delim = ")" + m.group(1) + '"'
-            end = text.find(delim, i + m.end())
-            end = n if end == -1 else end + len(delim)
-            line_has_code[line] = True
-            advance(end - i)
-            continue
-        # String / char literal (with encoding prefixes)
-        if c in "\"'" or (c in "uUL" and _literal_ahead(text, i, n)):
-            # Skip any prefix (u8, u, U, L) to the quote.
-            j = i
-            while j < n and text[j] not in "\"'":
-                j += 1
-            quote = text[j]
-            # C++14 digit separator: 1'000'000 — an apostrophe
-            # sandwiched between alnums is not a char literal.
-            if (quote == "'" and j > 0 and
-                    (text[j - 1] in ID_CONT) and j + 1 < n and
-                    text[j + 1] in ID_CONT and j == i):
-                # handled by the number/identifier scanners; fall out
-                pass
-            else:
-                line_has_code[line] = True
-                advance(j - i + 1)
-                while i < n and text[i] != quote:
-                    advance(2 if text[i] == "\\" else 1)
-                advance(1)
-                continue
-        # Identifier / keyword
-        if c in ID_START:
-            start_line, start_col = line, col
-            j = i
-            while j < n and text[j] in ID_CONT:
-                j += 1
-            tokens.append(Token("id", text[i:j], start_line,
-                                start_col))
-            line_has_code[start_line] = True
-            advance(j - i)
-            continue
-        # Number (incl. digit separators, suffixes, hex floats)
-        if c.isdigit() or (c == "." and i + 1 < n and
-                           text[i + 1].isdigit()):
-            start_line, start_col = line, col
-            j = i
-            while j < n:
-                ch = text[j]
-                if ch in ID_CONT or ch == ".":
-                    j += 1
-                elif ch == "'" and j + 1 < n and text[j + 1] in ID_CONT:
-                    j += 1  # digit separator
-                elif ch in "+-" and text[j - 1] in "eEpP":
-                    j += 1  # exponent sign
-                else:
-                    break
-            tokens.append(Token("num", text[i:j], start_line,
-                                start_col))
-            line_has_code[start_line] = True
-            advance(j - i)
-            continue
-        # Punctuation
-        for group in (PUNCT3, PUNCT2):
-            tok = text[i:i + len(group[0])]
-            if tok in group:
-                tokens.append(Token("punct", tok, line, col))
-                line_has_code[line] = True
-                advance(len(tok))
-                break
-        else:
-            tokens.append(Token("punct", c, line, col))
-            line_has_code[line] = True
-            advance(1)
-        continue
-    return tokens, comments
-
-
-def _literal_ahead(text, i, n):
-    """True when text[i:] starts an encoding-prefixed literal."""
-    for pfx in ("u8", "u", "U", "L"):
-        if text.startswith(pfx, i) and i + len(pfx) < n and \
-                text[i + len(pfx)] in "\"'":
-            # Not part of a longer identifier: `Label'` etc.
-            if i > 0 and text[i - 1] in ID_CONT:
-                return False
-            return True
-    return False
-
-
-# --------------------------------------------------------------------
-# Waivers
-# --------------------------------------------------------------------
-
-def collect_waivers(comments, tokens, findings, path):
-    """Map waived line -> {tag: reason}; malformed waivers -> W0.
-
-    A waiver on a line with preceding code waives that line (and, via
-    the statement span, the statement it sits in). A waiver on a
-    comment-only line waives the next line bearing code.
-    """
-    code_lines = sorted({t.line for t in tokens})
-    waived = {}
-    for c in comments:
-        m = WAIVER_RE.search(c.text)
-        if not m:
-            continue
-        body = m.group(1).strip()
-        pos = 0
-        entries = {}
-        ok = bool(body)
-        while pos < len(body):
-            im = WAIVER_ITEM_RE.match(body, pos)
-            if not im:
-                ok = False
-                break
-            tag, reason = im.group(1), im.group(2).strip()
-            if tag not in WAIVER_TAGS:
-                findings.append(Finding(
-                    path, c.start_line, 1, "W0",
-                    "unknown waiver tag '%s' (known: %s)" %
-                    (tag, ", ".join(sorted(WAIVER_TAGS)))))
-            elif not reason:
-                findings.append(Finding(
-                    path, c.start_line, 1, "W0",
-                    "waiver '%s' needs a reason: %s(why it is safe)" %
-                    (tag, tag)))
-            else:
-                entries[tag] = reason
-            pos = im.end()
-            if pos < len(body):
-                if body[pos] == ",":
-                    pos += 1
-                else:
-                    ok = False
-                    break
-        if not ok:
-            findings.append(Finding(
-                path, c.start_line, 1, "W0",
-                "malformed waiver; expected "
-                "'fastcap-lint: tag(reason)[, tag(reason)...]'"))
-        if not entries:
-            continue
-        if c.code_before:
-            target = c.start_line
-        else:
-            target = next((ln for ln in code_lines
-                           if ln > c.end_line), None)
-            if target is None:
-                continue
-        waived.setdefault(target, {}).update(entries)
-    return waived
-
-
-def is_waived(finding, waivers):
-    tag = WAIVER_TAGS_BY_RULE.get(finding.rule)
-    if tag is None:
-        return False
-    specific = {"entropy", "wall-clock"}
-    for ln in finding.span:
-        entry = waivers.get(ln)
-        if not entry:
-            continue
-        if tag in entry:
-            return True
-        # R2 has two tags; accept either on an R2 finding.
-        if finding.rule == "R2" and specific & set(entry):
-            return True
-    return False
-
-
-# --------------------------------------------------------------------
-# Zones
-# --------------------------------------------------------------------
-
-def zone_of(relpath):
-    """'tools' (exempt), 'util', 'result', 'src', or None (unlinted)."""
-    p = relpath.replace(os.sep, "/")
-    if p.startswith("tools/"):
-        return "tools"
-    if p.startswith("src/util/"):
-        return "util"
-    for d in RESULT_DIRS:
-        if p.startswith(d + "/"):
-            return "result"
-    if p.startswith("src/"):
-        return "src"
-    return None
-
-
-# --------------------------------------------------------------------
-# Rule pass (token stream walk)
-# --------------------------------------------------------------------
-
-def statement_span(tokens, idx):
-    """Lines of the statement containing tokens[idx].
-
-    Bounded walk out to the enclosing ';' / '{' / '}' in both
-    directions so waivers anywhere on a multi-line statement apply.
-    """
-    lines = {tokens[idx].line}
-    j = idx - 1
-    while j >= 0 and tokens[j].text not in (";", "{", "}"):
-        lines.add(tokens[j].line)
-        j -= 1
-    j = idx + 1
-    while j < len(tokens) and tokens[j].text not in (";", "{", "}"):
-        lines.add(tokens[j].line)
-        j += 1
-    if j < len(tokens):
-        lines.add(tokens[j].line)
-    return lines
-
-
-def qualified_name_at(tokens, i):
-    """(dotted name, next index) for the `a::b::c` starting at i."""
-    parts = [tokens[i].text]
-    j = i + 1
-    while (j + 1 < len(tokens) and tokens[j].text == "::" and
-           tokens[j + 1].kind == "id"):
-        parts.append(tokens[j + 1].text)
-        j += 2
-    return "::".join(parts), j
-
-
-def prev_sig(tokens, i):
-    return tokens[i - 1] if i > 0 else None
-
-
-def skip_template_args(tokens, i):
-    """Given tokens[i].text == '<', index just past the matching '>'."""
-    depth = 0
-    j = i
-    while j < len(tokens):
-        t = tokens[j].text
-        if t == "<" or t == "<<":
-            depth += 2 if t == "<<" else 1
-        elif t == ">" or t == ">>":
-            depth -= 2 if t == ">>" else 1
-            if depth <= 0:
-                return j + 1
-        elif t in (";", "{"):
-            return j  # malformed / not a template after all
-        j += 1
-    return j
-
-
-class FileLinter:
-    def __init__(self, path, relpath, text):
-        self.path = path
-        self.relpath = relpath
-        self.findings = []
-        self.tokens, self.comments = tokenize(text)
-        # In-file zone override, for the self-test corpus.
-        self.zone = zone_of(relpath)
-        for c in self.comments:
-            zm = ZONE_PRAGMA_RE.search(c.text)
-            if zm:
-                self.zone = zone_of(zm.group(1))
-                break
-        self.waivers = collect_waivers(self.comments, self.tokens,
-                                       self.findings, relpath)
-        # Scope-aware table of names with unordered container type.
-        self.scopes = [set()]
-        self.unordered_aliases = set()
-
-    # -- helpers ------------------------------------------------------
-
-    def add(self, tok, rule, msg, span=None, tag=None):
-        self.findings.append(Finding(self.relpath, tok.line, tok.col,
-                                     rule, msg, span, tag))
-
-    def is_unordered_name(self, name):
-        if name in self.unordered_aliases:
-            return True
-        return any(name in s for s in self.scopes)
-
-    def declare(self, name):
-        self.scopes[-1].add(name)
-
-    # -- main walk ----------------------------------------------------
-
-    def run(self):
-        if self.zone in (None, "tools"):
-            # tools/ is operator-facing: wall clock and ad-hoc format
-            # are fine there; only the corpus pragma routes here.
-            return self.findings
-        toks = self.tokens
-        i = 0
-        while i < len(toks):
-            t = toks[i]
-            if t.kind == "pp":
-                self.check_pp(t)
-                i += 1
-                continue
-            if t.kind == "punct":
-                if t.text == "{":
-                    self.scopes.append(set())
-                elif t.text == "}" and len(self.scopes) > 1:
-                    self.scopes.pop()
-                i += 1
-                continue
-            if t.kind == "num":
-                self.check_float_literal(i)
-                i += 1
-                continue
-            # Identifiers ---------------------------------------------
-            prev = prev_sig(toks, i)
-            name, after = qualified_name_at(toks, i)
-            base = name.split("::")[-1]
-
-            if t.text == "using" or t.text == "typedef":
-                i = self.check_alias(i)
-                continue
-            if base in UNORDERED_TYPES and self.zone == "result":
-                i = self.check_unordered_decl(i, after)
-                continue
-            if t.text == "for" and self.zone == "result":
-                self.check_range_for(i)
-                i += 1
-                continue
-            if base in FORMAT_BANNED or base in FORMAT_CHECKED:
-                self.check_format_call(i, after, name, base)
-                i = after
-                continue
-            if t.text == "float" and self.zone == "result":
-                self.add(t, "R4",
-                         "float in a double-only result path",
-                         statement_span(toks, i))
-                i += 1
-                continue
-            if t.text == "assert":
-                self.check_assert(i)
-                i += 1
-                continue
-            if self.zone in ("result", "src"):
-                if self.check_banned_entropy(i, after, name, prev):
-                    i = after
-                    continue
-            # begin()/end() handoff from a tracked unordered name.
-            if (self.zone == "result" and
-                    self.is_unordered_name(t.text) and
-                    after < len(toks) and toks[after].text in
-                    (".", "->") and after + 1 < len(toks) and
-                    toks[after + 1].text in
-                    ("begin", "end", "cbegin", "cend", "rbegin",
-                     "rend")):
-                self.add(t, "R1",
-                         "iterator handoff from unordered container "
-                         "'%s' (iteration order is "
-                         "implementation-defined)" % t.text,
-                         statement_span(toks, i))
-                i = after + 2
-                continue
-            i = max(i + 1, after) if name != t.text else i + 1
-        return [f for f in self.findings
-                if not is_waived(f, self.waivers)]
-
-    # -- individual rules ---------------------------------------------
-
-    def check_pp(self, tok):
-        m = re.match(r"#\s*include\s*[<\"]([^>\"]+)[>\"]", tok.text)
-        if not m:
-            return
-        header = m.group(1)
-        if header in ("cassert", "assert.h"):
-            self.add(tok, "R5",
-                     "include of %s; use FASTCAP_ASSERT from "
-                     "util/logging.hpp" % header)
-        if self.zone in ("result", "src") and header in ("random",):
-            self.add(tok, "R2",
-                     "include of <random>; draw from util/rng "
-                     "SplitMix64 streams instead")
-
-    def check_float_literal(self, i):
-        tok = self.tokens[i]
-        if self.zone == "result" and FLOAT_LITERAL.match(tok.text):
-            self.add(tok, "R4",
-                     "float literal '%s' in a double-only result "
-                     "path" % tok.text,
-                     statement_span(self.tokens, i))
-
-    def check_alias(self, i):
-        """`using X = unordered_…` / `typedef unordered_… X`."""
-        toks = self.tokens
-        j = i + 1
-        alias = None
-        saw_unordered = False
-        if toks[i].text == "using" and j + 1 < len(toks) and \
-                toks[j].kind == "id" and toks[j + 1].text == "=":
-            alias = toks[j].text
-            j += 2
-        last_id = None
-        while j < len(toks) and toks[j].text != ";":
-            if toks[j].kind == "id":
-                if toks[j].text in UNORDERED_TYPES:
-                    saw_unordered = True
-                elif self.is_unordered_name(toks[j].text):
-                    saw_unordered = True
-                last_id = toks[j]
-            j += 1
-        if toks[i].text == "typedef" and last_id is not None:
-            alias = last_id.text
-        if alias and saw_unordered:
-            self.unordered_aliases.add(alias)
-            if self.zone == "result":
-                self.add(toks[i], "R1",
-                         "alias '%s' of an unordered container in "
-                         "result-affecting code" % alias,
-                         statement_span(toks, i))
-        return j + 1
-
-    def check_unordered_decl(self, i, after):
-        """A direct unordered_xxx<...> mention in result code."""
-        toks = self.tokens
-        j = after
-        if j < len(toks) and toks[j].text == "<":
-            j = skip_template_args(toks, j)
-        # Declarator: skip refs/pointers/cv.
-        while j < len(toks) and (toks[j].text in ("&", "*", "const") or
-                                 toks[j].text == "::"):
-            j += 1
-        declared = None
-        if j < len(toks) and toks[j].kind == "id":
-            declared = toks[j].text
-            self.declare(declared)
-        what = ("declaration of '%s' as" % declared) if declared \
-            else "use of"
-        self.add(toks[i], "R1",
-                 "%s an unordered container in result-affecting "
-                 "code" % what, statement_span(toks, i))
-        return j if j > i else i + 1
-
-    def check_range_for(self, i):
-        """`for (decl : expr)` where expr involves an unordered name."""
-        toks = self.tokens
-        j = i + 1
-        if j >= len(toks) or toks[j].text != "(":
-            return
-        depth = 0
-        colon = None
-        k = j
-        while k < len(toks):
-            t = toks[k].text
-            if t == "(":
-                depth += 1
-            elif t == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            elif t == ":" and depth == 1:
-                colon = k
-            elif t == ";" and depth == 1:
-                return  # classic for loop
-            k += 1
-        if colon is None or k >= len(toks):
-            return
-        for m in range(colon + 1, k):
-            t = toks[m]
-            if t.kind != "id":
-                continue
-            if (t.text in UNORDERED_TYPES or
-                    self.is_unordered_name(t.text)):
-                self.add(toks[i], "R1",
-                         "range-for over unordered container "
-                         "'%s': iteration order is "
-                         "implementation-defined" % t.text,
-                         set(tk.line for tk in toks[i:k + 1]))
-                return
-
-    def check_format_call(self, i, after, name, base):
-        toks = self.tokens
-        if after >= len(toks) or toks[after].text != "(":
-            return  # mention, not a call (e.g. a function pointer table)
-        span = statement_span(toks, i)
-        if base in FORMAT_BANNED:
-            self.add(toks[i], "R3",
-                     "%s is banned (no bounds): use snprintf and "
-                     "check the result" % base, span)
-            return
-        # Walk back past `std ::` to the token before the call.
-        j = i - 1
-        while j >= 0 and toks[j].text == "::":
-            j -= 2
-        before = toks[j] if j >= 0 else None
-        discarded = before is None or before.text in (";", "{", "}")
-        # Labels: `case X:` / `default:` — treat ':' like a boundary.
-        if before is not None and before.text == ":":
-            discarded = True
-        # `(void)` cast is an explicit discard: still unchecked.
-        if (before is not None and before.text == ")" and j >= 2 and
-                toks[j - 1].text == "void" and toks[j - 2].text == "("):
-            discarded = True
-        if discarded:
-            self.add(toks[i], "R3",
-                     "%s return value unchecked: truncation must be "
-                     "detected (checkedSnprintf() or compare against "
-                     "the buffer size)" % base, span)
-
-    def check_assert(self, i):
-        toks = self.tokens
-        nxt = toks[i + 1] if i + 1 < len(toks) else None
-        prev = prev_sig(toks, i)
-        if nxt is None or nxt.text != "(":
-            return
-        if prev is not None and prev.text in (".", "->", "::", "#"):
-            return
-        self.add(toks[i], "R5",
-                 "raw assert(): compiled out in release; use "
-                 "FASTCAP_ASSERT (panics) or fatal()",
-                 statement_span(toks, i))
-
-    def check_banned_entropy(self, i, after, name, prev):
-        toks = self.tokens
-        if prev is not None and prev.text in (".", "->", "::"):
-            return False
-        span = statement_span(toks, i)
-        # Qualified names match as prefixes so member accesses like
-        # std::chrono::steady_clock::now are caught at the head.
-        for banned, kind in BANNED_QUALIFIED.items():
-            if name == banned or name.startswith(banned + "::"):
-                self.add(toks[i], "R2",
-                         "%s: %s" % (banned, _r2_msg(kind)), span,
-                         tag=kind)
-                return True
-        parts = name.split("::")
-        if parts[0] in BANNED_BARE_TYPES:
-            kind = BANNED_BARE_TYPES[parts[0]]
-            self.add(toks[i], "R2",
-                     "%s: %s" % (parts[0], _r2_msg(kind)), span,
-                     tag=kind)
-            return True
-        # Banned C calls: bare `time(...)` or `std::time(...)`, but
-        # never member calls (`sim.time()`) or other namespaces'.
-        callee = None
-        if len(parts) == 1:
-            callee = parts[0]
-        elif len(parts) == 2 and parts[0] == "std":
-            callee = parts[1]
-        if (callee in BANNED_CALLS and after < len(toks) and
-                toks[after].text == "("):
-            kind = BANNED_CALLS[callee]
-            self.add(toks[i], "R2",
-                     "%s(): %s" % (callee, _r2_msg(kind)), span,
-                     tag=kind)
-            return True
-        return False
-
-
-def _r2_msg(kind):
-    if kind == "entropy":
-        return ("ambient randomness breaks seeded reproducibility; "
-                "derive a util/rng SplitMix64 stream instead")
-    return ("wall clock in simulation code breaks bit-identity; "
-            "use the sim clock (or waive for operator-only timing)")
-
-
-# --------------------------------------------------------------------
-# Drivers
-# --------------------------------------------------------------------
-
-def lint_file(path, relpath):
-    try:
-        with open(path, "r", encoding="utf-8", errors="replace") as f:
-            text = f.read()
-    except OSError as e:
-        print("fastcap_lint: cannot read %s: %s" % (path, e),
-              file=sys.stderr)
-        sys.exit(2)
-    return FileLinter(path, relpath, text).run()
-
-
-def tree_files(root):
-    out = []
-    src = os.path.join(root, "src")
-    for base, _dirs, names in os.walk(src):
-        for nm in sorted(names):
-            if nm.endswith((".cpp", ".hpp", ".h")):
-                p = os.path.join(base, nm)
-                out.append((p, os.path.relpath(p, root)))
-    return sorted(out, key=lambda x: x[1])
-
-
-def run_self_test(corpus_dir, root):
-    """Check the linter against the seeded violation corpus.
-
-    bad/ files carry `// EXPECT: R1 [R3 ...]` markers on each line
-    that must fire exactly those rules; good/ files must be clean.
-    """
-    failures = []
-    checked = 0
-    for sub, expect_findings in (("bad", True), ("good", False)):
-        d = os.path.join(corpus_dir, sub)
-        if not os.path.isdir(d):
-            failures.append("missing corpus directory: %s" % d)
-            continue
-        for nm in sorted(os.listdir(d)):
-            if not nm.endswith((".cpp", ".hpp")):
-                continue
-            path = os.path.join(d, nm)
-            rel = os.path.relpath(path, root)
-            with open(path, "r", encoding="utf-8") as f:
-                text = f.read()
-            checked += 1
-            findings = FileLinter(path, rel, text).run()
-            got = {}
-            for fd in findings:
-                got.setdefault(fd.line, []).append(fd.rule)
-            want = {}
-            for lineno, line in enumerate(text.splitlines(), 1):
-                m = EXPECT_RE.search(line)
-                if m:
-                    want[lineno] = sorted(m.group(1).split())
-            if not expect_findings and want:
-                failures.append("%s: good/ file has EXPECT markers"
-                                % rel)
-            if expect_findings and not want:
-                failures.append("%s: bad/ file has no EXPECT markers"
-                                % rel)
-            for ln in sorted(set(got) | set(want)):
-                g = sorted(got.get(ln, []))
-                w = want.get(ln, [])
-                if g != w:
-                    failures.append(
-                        "%s:%d: expected %s, got %s" %
-                        (rel, ln, w or "none", g or "none"))
-    if checked == 0:
-        failures.append("corpus %s contains no snippets" % corpus_dir)
-    if failures:
-        for msg in failures:
-            print("self-test FAIL: %s" % msg)
-        return 1
-    print("fastcap_lint self-test: %d corpus files OK" % checked)
-    return 0
-
-
-def main(argv=None):
-    ap = argparse.ArgumentParser(
-        prog="fastcap_lint",
-        description="FastCap determinism lint (rules R1-R5).")
-    ap.add_argument("files", nargs="*",
-                    help="files to lint (default: src/ tree)")
-    ap.add_argument("--root", default=None,
-                    help="repository root (default: two levels above "
-                         "this script)")
-    ap.add_argument("--self-test", metavar="DIR",
-                    help="run the violation-corpus self-test against "
-                         "DIR (with bad/ and good/ subdirectories)")
-    ap.add_argument("--list-rules", action="store_true")
-    args = ap.parse_args(argv)
-
-    root = args.root or os.path.normpath(
-        os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                     "..", ".."))
-
-    if args.list_rules:
-        for rule in sorted(RULES):
-            tag, desc = RULES[rule]
-            waive = (" (waiver tag: %s)" % tag) if tag else ""
-            print("%s  %s%s" % (rule, desc, waive))
-        return 0
-
-    if args.self_test:
-        return run_self_test(args.self_test, root)
-
-    if args.files:
-        targets = [(f, os.path.relpath(os.path.abspath(f), root))
-                   for f in args.files]
-    else:
-        targets = tree_files(root)
-
-    all_findings = []
-    for path, rel in targets:
-        all_findings.extend(lint_file(path, rel))
-    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    for f in all_findings:
-        print(f.render())
-    if all_findings:
-        print("fastcap_lint: %d finding(s) in %d file(s)" %
-              (len(all_findings),
-               len({f.path for f in all_findings})))
-        return 1
-    print("fastcap_lint: clean (%d files)" % len(targets))
-    return 0
-
+from fastcaplint.driver import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

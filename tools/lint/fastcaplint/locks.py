@@ -1,0 +1,233 @@
+"""R7: lock-order analysis over the symbol index.
+
+Builds the global *acquired-while-holding* graph: an edge A -> B
+means some code path acquires mutex B while holding mutex A. Direct
+edges come from the per-function lock simulation (``LockGuard`` /
+``UniqueLock`` declarations and ``m.lock()`` on resolvable
+``Mutex`` objects); one level of interprocedural edges comes from
+calls made while holding locks, targeting the callee's *direct*
+acquisitions.
+
+A cycle in the graph is a potential deadlock (R7) — reported once
+per strongly connected component, anchored at the smallest involved
+acquisition site, with every edge's witness printed. A self-edge is
+a double-acquire of a non-recursive Mutex and is reported per site.
+
+A ``fastcap-lint: lock-order(reason)`` waiver on an acquisition or
+call statement removes the edges created at that site (and counts as
+used only when the site actually created an edge — otherwise it goes
+stale and W1 fires).
+"""
+
+from .findings import Finding
+
+_TAGS = frozenset(("lock-order",))
+
+
+class _Edge:
+    __slots__ = ("src", "dst", "relpath", "line", "col", "fn",
+                 "held_line", "via")
+
+    def __init__(self, src, dst, relpath, line, col, fn, held_line,
+                 via):
+        self.src = src          # mutex identity held
+        self.dst = dst          # mutex identity acquired
+        self.relpath = relpath  # file of the acquiring site
+        self.line = line
+        self.col = col
+        self.fn = fn            # function containing the site
+        self.held_line = held_line
+        self.via = via          # callee qname for propagated edges
+
+
+def _site_waived(relpath, span, waiver_map, mark):
+    ws = waiver_map.get(relpath)
+    if ws is None:
+        return False
+    if mark:
+        return ws.waive(span, _TAGS)
+    return ws.find(span, _TAGS) is not None
+
+
+def build_edges(index, waiver_map):
+    edges = []
+    direct = {}  # FunctionDef -> [(identity, Acquisition)]
+    for fn in index.functions:
+        resolved = []
+        for acq in fn.acquisitions:
+            ident = index.mutex_identity(acq.expr, fn)
+            if ident is not None:
+                resolved.append((ident, acq))
+        direct[fn] = resolved
+        for ident, acq in resolved:
+            held = [(index.mutex_identity(e, fn), site)
+                    for e, site in acq.holds]
+            held = [(h, site) for h, site in held if h is not None]
+            if not held:
+                continue
+            if _site_waived(fn.relpath, acq.span, waiver_map,
+                            mark=True):
+                continue
+            for hid, site in held:
+                edges.append(_Edge(hid, ident, fn.relpath, acq.line,
+                                   acq.col, fn, site[0], None))
+    # One level of propagation: calls made while holding locks link
+    # the held mutexes to the callee's direct acquisitions.
+    for fn in index.functions:
+        for call in fn.calls:
+            if not call.holds:
+                continue
+            held = [(index.mutex_identity(e, fn), site)
+                    for e, site in call.holds]
+            held = [(h, site) for h, site in held if h is not None]
+            if not held:
+                continue
+            targets = index.resolve_call(call, fn)
+            tgt_acqs = [(tgt, ident, acq)
+                        for tgt in targets
+                        for ident, acq in direct.get(tgt, ())]
+            if not tgt_acqs:
+                continue
+            if _site_waived(fn.relpath, call.span, waiver_map,
+                            mark=True):
+                continue
+            for tgt, ident, _acq in tgt_acqs:
+                for hid, site in held:
+                    edges.append(_Edge(hid, ident, fn.relpath,
+                                       call.line, call.col, fn,
+                                       site[0], tgt.qname))
+    return edges
+
+
+def run(index, waiver_map):
+    edges = build_edges(index, waiver_map)
+    findings = []
+
+    # Self-edges: double-acquire of a non-recursive mutex.
+    seen_self = set()
+    graph = {}
+    for e in edges:
+        if e.src == e.dst:
+            key = (e.relpath, e.line, e.col)
+            if key not in seen_self:
+                seen_self.add(key)
+                via = (" via call to '%s'" % e.via) if e.via else ""
+                findings.append(Finding(
+                    e.relpath, e.line, e.col, "R7",
+                    "mutex '%s' acquired%s while already held "
+                    "(acquired at line %d): self-deadlock on a "
+                    "non-recursive Mutex" %
+                    (e.dst, via, e.held_line), tag="lock-order"))
+            continue
+        graph.setdefault(e.src, {}).setdefault(e.dst, []).append(e)
+
+    for scc in _cycles(graph):
+        cyc_edges = _witness_cycle(graph, scc)
+        if not cyc_edges:
+            continue
+        anchor = min(cyc_edges,
+                     key=lambda e: (e.relpath, e.line, e.col))
+        parts = []
+        for e in cyc_edges:
+            via = (" (via '%s')" % e.via) if e.via else ""
+            parts.append(
+                "'%s' acquired at %s:%d in %s%s while holding '%s'" %
+                (e.dst, e.relpath, e.line, e.fn.qname, via, e.src))
+        order = " -> ".join([e.src for e in cyc_edges] +
+                            [cyc_edges[0].src])
+        findings.append(Finding(
+            anchor.relpath, anchor.line, anchor.col, "R7",
+            "lock acquisition cycle %s: %s — pick one global order "
+            "(or waive the intended edge with lock-order)" %
+            (order, "; ".join(parts)), tag="lock-order"))
+    return findings
+
+
+def _cycles(graph):
+    """Strongly connected components with more than one node."""
+    nodes = sorted(set(graph) |
+                   {d for m in graph.values() for d in m})
+    idx = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+
+    def strongconnect(v):
+        # Iterative Tarjan (explicit stack) — corpus graphs are tiny
+        # but recursion depth must not depend on input shape.
+        work = [(v, iter(sorted(graph.get(v, ()))))]
+        idx[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in idx:
+                    idx[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph.get(w, ())))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    low[node] = min(low[node], idx[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == idx[node]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                if len(comp) > 1:
+                    sccs.append(sorted(comp))
+
+    for v in nodes:
+        if v not in idx:
+            strongconnect(v)
+    return sorted(sccs)
+
+
+def _witness_cycle(graph, scc):
+    """A concrete simple cycle inside ``scc``, as a list of edges
+    (each the smallest-site witness for its src->dst pair)."""
+    members = set(scc)
+    start = scc[0]
+    # BFS restricted to the SCC, tracking the path of node hops.
+    from collections import deque
+    parent = {start: None}
+    q = deque([start])
+    back = None  # node with an edge back to start
+    while q and back is None:
+        u = q.popleft()
+        for w in sorted(graph.get(u, ())):
+            if w == start:
+                back = u
+                break
+            if w in members and w not in parent:
+                parent[w] = u
+                q.append(w)
+    if back is None:
+        return []
+    hops = [back]
+    while hops[-1] != start:
+        hops.append(parent[hops[-1]])
+    hops.reverse()  # start ... back
+    pairs = list(zip(hops, hops[1:] + [start]))
+    out = []
+    for src, dst in pairs:
+        cands = graph[src][dst]
+        out.append(min(cands,
+                       key=lambda e: (e.relpath, e.line, e.col)))
+    return out

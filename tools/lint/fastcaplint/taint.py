@@ -1,0 +1,135 @@
+"""R6: cross-file determinism taint.
+
+A function is *tainted* with a kind ('entropy', 'wall-clock',
+'order') when its body contains an active source fact of that kind,
+or when it calls — through any number of hops — a function that is.
+Facts in ``src/util`` taint even though the per-line rules exempt
+that zone: ``wallSeconds()`` is legal to *define* in util, but a
+result-path caller must either not call it or waive the calling edge.
+
+Findings are emitted only on call edges whose caller lives in a
+result zone; the callee's own use is R1/R2's job (or exempt). An
+edge waiver — a ``fastcap-lint: wall-clock(...)`` (or ``entropy`` /
+``order-insensitive``) comment on the call statement — both silences
+the finding and stops propagation through that edge, in any linted
+zone: the waiver asserts the tainted value does not reach results.
+"""
+
+from .findings import Finding
+
+# Internal taint kinds -> waiver tags that block an edge for them.
+# clock/entropy share tags, mirroring R2's interchangeable pair.
+_EDGE_TAGS = {
+    "entropy": frozenset(("entropy", "wall-clock")),
+    "wall-clock": frozenset(("entropy", "wall-clock")),
+    "order": frozenset(("order-insensitive",)),
+}
+_FINDING_TAG = {
+    "entropy": "entropy",
+    "wall-clock": "wall-clock",
+    "order": "order-insensitive",
+}
+_KIND_NOUN = {
+    "entropy": "an entropy",
+    "wall-clock": "a wall-clock",
+    "order": "an unordered-iteration",
+}
+# Report the most result-corrupting kind first when several flow
+# through one call.
+_KIND_PRIORITY = ("wall-clock", "entropy", "order")
+
+
+def _edge_waived(call, caller, kind, waiver_map, zone_map, mark):
+    zone = zone_map.get(caller.relpath)
+    if zone not in ("result", "src", "util"):
+        return False
+    ws = waiver_map.get(caller.relpath)
+    if ws is None:
+        return False
+    if mark:
+        return ws.waive(call.span, _EDGE_TAGS[kind])
+    return ws.find(call.span, _EDGE_TAGS[kind]) is not None
+
+
+def run(index, waiver_map, zone_map):
+    """R6 findings. ``waiver_map``/``zone_map``: relpath -> WaiverSet
+    / zone, for every analyzed file."""
+    # Seed: functions with active source facts.
+    taint = {}  # FunctionDef -> {kind: witness}
+    work = []
+    for fn in index.functions:
+        for fact in fn.facts:
+            if not fact.active:
+                continue
+            kind = "order" if fact.kind == "order" else fact.kind
+            if kind not in taint.setdefault(fn, {}):
+                taint[fn][kind] = ("fact", fact)
+                work.append((fn, kind))
+
+    # Reverse call graph: callee -> [(caller, call site)].
+    callers = {}
+    resolved = {}  # id(call) -> targets (reused in the report pass)
+    for fn in index.functions:
+        for call in fn.calls:
+            targets = index.resolve_call(call, fn)
+            resolved[id(call)] = targets
+            for tgt in targets:
+                callers.setdefault(tgt, []).append((fn, call))
+
+    # Fixpoint: propagate kinds caller-ward through unwaived edges.
+    while work:
+        fn, kind = work.pop()
+        for caller, call in callers.get(fn, ()):
+            if kind in taint.get(caller, {}):
+                continue
+            if _edge_waived(call, caller, kind, waiver_map, zone_map,
+                           mark=True):
+                continue
+            taint.setdefault(caller, {})[kind] = ("call", call, fn)
+            work.append((caller, kind))
+
+    # Report: result-zone callers whose call reaches taint.
+    findings = []
+    seen = set()
+    for fn in index.functions:
+        if zone_map.get(fn.relpath) != "result":
+            continue
+        for call in fn.calls:
+            kinds = {}
+            for tgt in resolved.get(id(call), ()):
+                for kind in taint.get(tgt, {}):
+                    kinds.setdefault(kind, tgt)
+            for kind in _KIND_PRIORITY:
+                if kind not in kinds:
+                    continue
+                tgt = kinds[kind]
+                if _edge_waived(call, fn, kind, waiver_map, zone_map,
+                               mark=True):
+                    continue
+                key = (fn.relpath, call.line, tgt.qname, kind)
+                if key in seen:
+                    break
+                seen.add(key)
+                findings.append(Finding(
+                    fn.relpath, call.line, call.col, "R6",
+                    _message(call, tgt, kind, taint), call.span,
+                    tag=_FINDING_TAG[kind]))
+                break  # one finding per call site
+    return findings
+
+
+def _message(call, target, kind, taint):
+    owner = target            # function whose body holds the fact
+    chain = [target.qname]
+    witness = taint[target][kind]
+    while witness[0] == "call" and len(chain) < 8:
+        owner = witness[2]
+        chain.append(owner.qname)
+        witness = taint[owner][kind]
+    if witness[0] == "fact":
+        fact = witness[1]
+        src = "%s (%s:%d)" % (fact.detail, owner.relpath, fact.line)
+    else:
+        src = "a deeper source (chain display capped)"
+    return ("call to '%s' reaches %s source: %s uses %s" %
+            (call.name, _KIND_NOUN[kind], " -> ".join(chain), src))

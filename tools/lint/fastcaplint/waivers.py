@@ -1,0 +1,173 @@
+"""Waiver parsing and bookkeeping.
+
+Syntax, on the offending line, anywhere inside the offending
+statement, or on an immediately preceding comment-only line:
+
+    // fastcap-lint: <tag>(<reason>)
+    // fastcap-lint: order-insensitive(keyed dedupe, never iterated)
+
+Multiple waivers may be comma-separated after one `fastcap-lint:`.
+The reason is mandatory; malformed waivers are W0 findings.
+
+Every valid entry tracks whether it suppressed at least one finding
+(of any rule — per-file R1–R5, cross-file R6/R7). An entry that
+suppressed nothing is itself a finding (W1): the waiver list cannot
+rot as code moves. A trailing ``EXPECT: ...`` marker (the self-test
+corpus annotation) is not part of the waiver body.
+"""
+
+import re
+
+from .findings import Finding, WAIVER_TAGS, WAIVER_TAGS_BY_RULE
+
+# The waiver body ends at an EXPECT: marker so corpus snippets can
+# annotate the waiver's own line with the W1 it must produce.
+WAIVER_RE = re.compile(
+    r"fastcap-lint\s*:\s*(?!zone)((?:(?!EXPECT:).)*)", re.DOTALL)
+WAIVER_ITEM_RE = re.compile(r"\s*([a-z][a-z0-9-]*)\s*\(([^()]*)\)\s*")
+ZONE_PRAGMA_RE = re.compile(r"fastcap-lint-zone\s*:\s*(\S+)")
+
+
+class WaiverEntry:
+    __slots__ = ("path", "comment_line", "target_line", "tag",
+                 "reason", "used")
+
+    def __init__(self, path, comment_line, target_line, tag, reason):
+        self.path = path
+        self.comment_line = comment_line  # where the waiver is written
+        self.target_line = target_line    # line whose findings it waives
+        self.tag = tag
+        self.reason = reason
+        self.used = False
+
+
+class WaiverSet:
+    """All valid waiver entries of one file, indexed by target line."""
+
+    def __init__(self):
+        self.entries = []
+        self._by_line = {}
+
+    def add(self, entry):
+        self.entries.append(entry)
+        self._by_line.setdefault(entry.target_line, []).append(entry)
+
+    def find(self, lines, tags):
+        """First entry on any of ``lines`` with a tag in ``tags``.
+
+        Does not mark the entry used — callers that suppress a
+        finding use :meth:`waive` instead.
+        """
+        for ln in sorted(lines):
+            for entry in self._by_line.get(ln, ()):
+                if entry.tag in tags:
+                    return entry
+        return None
+
+    def waive(self, lines, tags):
+        """Suppressing lookup: marks the matching entry used."""
+        entry = self.find(lines, tags)
+        if entry is not None:
+            entry.used = True
+        return entry is not None
+
+    def stale(self):
+        return [e for e in self.entries if not e.used]
+
+
+def tags_for_finding(finding):
+    """The waiver tags that may silence ``finding``."""
+    if finding.rule == "R2":
+        return frozenset(("entropy", "wall-clock"))
+    if finding.rule == "R6":
+        # The edge waiver must match the taint kind it suppresses;
+        # the two R2-style tags stay interchangeable for clock and
+        # entropy taint, mirroring R2 itself.
+        if finding.tag == "order-insensitive":
+            return frozenset(("order-insensitive",))
+        return frozenset(("entropy", "wall-clock"))
+    tag = finding.tag or WAIVER_TAGS_BY_RULE.get(finding.rule)
+    if tag is None:
+        return frozenset()
+    return frozenset((tag,))
+
+
+def collect_waivers(comments, tokens, findings, path):
+    """Parse all waiver comments into a WaiverSet; malformed -> W0.
+
+    A waiver on a line with preceding code waives that line (and, via
+    the statement span, the statement it sits in). A waiver on a
+    comment-only line waives the next line bearing code.
+    """
+    code_lines = sorted({t.line for t in tokens})
+    ws = WaiverSet()
+    for c in comments:
+        m = WAIVER_RE.search(c.text)
+        if not m:
+            continue
+        body = m.group(1).strip()
+        pos = 0
+        entries = []
+        ok = bool(body)
+        while pos < len(body):
+            im = WAIVER_ITEM_RE.match(body, pos)
+            if not im:
+                ok = False
+                break
+            tag, reason = im.group(1), im.group(2).strip()
+            if tag not in WAIVER_TAGS:
+                findings.append(Finding(
+                    path, c.start_line, 1, "W0",
+                    "unknown waiver tag '%s' (known: %s)" %
+                    (tag, ", ".join(sorted(WAIVER_TAGS)))))
+            elif not reason:
+                findings.append(Finding(
+                    path, c.start_line, 1, "W0",
+                    "waiver '%s' needs a reason: %s(why it is safe)" %
+                    (tag, tag)))
+            else:
+                entries.append((tag, reason))
+            pos = im.end()
+            if pos < len(body):
+                if body[pos] == ",":
+                    pos += 1
+                else:
+                    ok = False
+                    break
+        if not ok:
+            findings.append(Finding(
+                path, c.start_line, 1, "W0",
+                "malformed waiver; expected "
+                "'fastcap-lint: tag(reason)[, tag(reason)...]'"))
+        if not entries:
+            continue
+        if c.code_before:
+            target = c.start_line
+        else:
+            target = next((ln for ln in code_lines
+                           if ln > c.end_line), None)
+            if target is None:
+                continue
+        for tag, reason in entries:
+            ws.add(WaiverEntry(path, c.start_line, target, tag,
+                               reason))
+    return ws
+
+
+def is_waived(finding, waiver_set):
+    """Suppress check for per-file findings; marks entries used."""
+    tags = tags_for_finding(finding)
+    if not tags:
+        return False
+    return waiver_set.waive(finding.span, tags)
+
+
+def stale_waiver_findings(waiver_set):
+    out = []
+    for e in waiver_set.stale():
+        out.append(Finding(
+            e.path, e.comment_line, 1, "W1",
+            "stale waiver '%s(%s)': it suppresses no finding; "
+            "delete it (or move it back onto the code it covered)" %
+            (e.tag, e.reason)))
+    return out
