@@ -36,6 +36,7 @@
 #include "core/fastcap_policy.hpp"
 #include "core/model_fitter.hpp"
 #include "core/solver.hpp"
+#include "telemetry/registry.hpp"
 
 using namespace fastcap;
 
@@ -132,6 +133,45 @@ BM_EpochDecisionWarm(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EpochDecisionWarm)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Telemetry overhead on the hot path: the same steady-state epoch
+ * decision with the metrics registry enabled (counters, gauges,
+ * registry lookups) vs disabled (one predicted-false branch per
+ * write site). The BM_EpochTelemetryReference/BM_EpochTelemetry
+ * ratio is what the perf-smoke job gates at 2%: telemetry must stay
+ * observationally free, in cost as well as in results.
+ */
+void
+epochTelemetry(benchmark::State &state, bool telemetry_on)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const PolicyInputs in = benchutil::syntheticInputs(n);
+    FastCapPolicy policy;
+    (void)policy.decide(in); // prime the warm-start hint
+    telemetry::setEnabled(telemetry_on);
+    for (auto _ : state) {
+        PolicyDecision dec = policy.decide(in);
+        benchmark::DoNotOptimize(dec);
+    }
+    telemetry::setEnabled(false);
+}
+
+void
+BM_EpochTelemetry(benchmark::State &state)
+{
+    epochTelemetry(state, true);
+}
+BENCHMARK(BM_EpochTelemetry)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+/** Registry off: the cost an un-instrumented epoch pays. */
+void
+BM_EpochTelemetryReference(benchmark::State &state)
+{
+    epochTelemetry(state, false);
+}
+BENCHMARK(BM_EpochTelemetryReference)->Arg(64)
     ->Unit(benchmark::kMicrosecond);
 
 void

@@ -8,6 +8,8 @@
 #include "cluster/queue_trace_source.hpp"
 #include "harness/peak_power.hpp"
 #include "policies/registry.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "trace/trace_generator.hpp"
 #include "trace/trace_replay.hpp"
 #include "util/csv.hpp"
@@ -112,6 +114,8 @@ Cluster::Cluster(ClusterConfig cfg) : _cfg(std::move(cfg))
         SimConfig sc = _cfg.machine;
         sc.seed = splitmix64(_cfg.seed,
                              static_cast<std::uint64_t>(i));
+        ecfg.tracer = _cfg.tracer;
+        ecfg.machineIndex = i;
         mc->policy = makePolicy(_cfg.policy, _cfg.solver);
         mc->runner = std::make_unique<ExperimentRunner>(
             sc, workloads::mix(_cfg.workload, sc.numCores),
@@ -135,8 +139,10 @@ Cluster::Cluster(ClusterConfig cfg) : _cfg(std::move(cfg))
     _pool = std::make_unique<ThreadPool>(
         static_cast<std::size_t>(_cfg.machineThreads));
 
-    inform("cluster: %d machines x %d cores, installed peak %.1f W",
-           _cfg.machines, _cfg.machine.numCores, _installedPeak);
+    logkv(LogLevel::Inform, "cluster", "init",
+          {{"machines", _cfg.machines},
+           {"cores_per_machine", _cfg.machine.numCores},
+           {"installed_peak_w", _installedPeak}});
 }
 
 Cluster::~Cluster() = default;
@@ -250,12 +256,34 @@ Cluster::step()
             const std::size_t lost_before = _lost;
             killMachine(mc, f.machine);
             rec.lost += _lost - lost_before;
+            if (telemetry::enabled()) {
+                telemetry::Registry::global()
+                    .counter("/cluster/arbiter/failures")
+                    .add();
+                if (_cfg.tracer != nullptr)
+                    _cfg.tracer->track(0, "cluster")
+                        .instant("machine " +
+                                     std::to_string(f.machine) +
+                                     " failed",
+                                 epoch_start);
+            }
         }
         if (f.restoreEpoch == _epoch && !mc.alive) {
             mc.alive = true;
             // No observed demand yet: the floor carries it until its
             // first post-restore epoch reports.
             mc.demand = 0.0;
+            if (telemetry::enabled()) {
+                telemetry::Registry::global()
+                    .counter("/cluster/arbiter/restores")
+                    .add();
+                if (_cfg.tracer != nullptr)
+                    _cfg.tracer->track(0, "cluster")
+                        .instant("machine " +
+                                     std::to_string(f.machine) +
+                                     " restored",
+                                 epoch_start);
+            }
         }
     }
 
@@ -295,6 +323,20 @@ Cluster::step()
         panic("Cluster: arbiter leaked budget at epoch %d: assigned "
               "%.9g W of %.9g W usable", _epoch, rec.assignedTotal,
               rec.usableBudget);
+
+    // Arbiter telemetry, on the stepping thread: one redistribution
+    // round per epoch, one grant per live machine, per-machine grant
+    // gauges (single writer — only this thread touches them).
+    if (telemetry::enabled()) {
+        telemetry::Registry &reg = telemetry::Registry::global();
+        reg.counter("/cluster/arbiter/rounds").add();
+        for (std::size_t i = 0; i < m; ++i) {
+            reg.gauge("/cluster/arbiter/grant/" + std::to_string(i))
+                .set(rec.machineBudget[i]);
+            if (_machines[i]->alive)
+                reg.counter("/cluster/arbiter/grants").add();
+        }
+    }
 
     // 4. Dispatch cluster-trace arrivals due at this boundary.
     dispatch(epoch_start, rec);
@@ -351,6 +393,23 @@ Cluster::step()
         mc.demand = std::min(
             mc.peak,
             std::max(recs[i].totalPower, mc.peak * occupancy));
+    }
+
+    if (telemetry::enabled()) {
+        telemetry::Registry &reg = telemetry::Registry::global();
+        reg.gauge("/cluster/power").set(rec.totalPower);
+        reg.gauge("/cluster/pending_jobs")
+            .set(static_cast<double>(rec.pendingJobs));
+        if (_cfg.tracer != nullptr) {
+            telemetry::TraceTrack &track =
+                _cfg.tracer->track(0, "cluster");
+            track.span("rack epoch", epoch_start,
+                       epoch_start + _cfg.machine.epochLength);
+            track.counterEvent("rack_budget_w", epoch_start,
+                               rec.rackBudget);
+            track.counterEvent("rack_power_w", epoch_start,
+                               rec.totalPower);
+        }
     }
 
     ++_epoch;

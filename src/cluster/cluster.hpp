@@ -86,6 +86,14 @@ struct ClusterConfig
     SolverOptions solver;
     std::vector<MachineFailure> failures;
     std::uint64_t seed = 0x5eedf00dULL;
+    /**
+     * Optional epoch tracer shared by the rack. The cluster emits
+     * arbitration spans and rack counter events on track 0 and hands
+     * each machine its own track (machine index + 1); everything is
+     * keyed to virtual time, so reruns reproduce the trace byte for
+     * byte. Observe-only — results are identical with or without it.
+     */
+    telemetry::Tracer *tracer = nullptr;
 
     /** fatal() on invalid knobs. */
     void validate() const;

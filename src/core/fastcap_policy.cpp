@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 #include "util/math.hpp"
 
@@ -71,6 +72,22 @@ FastCapPolicy::decide(const PolicyInputs &inputs)
 
     FastCapSolver solver(inputs, _opts);
     SolveResult res = solver.solve();
+
+    // Observe-only hot-path instrumentation: commuting writes keep
+    // the counters exact under sweep/cluster thread parallelism, and
+    // the enabled() gate keeps the disabled cost to one branch.
+    if (telemetry::enabled()) {
+        telemetry::Registry &reg = telemetry::Registry::global();
+        reg.counter("/solver/solves").add();
+        reg.counter("/solver/evaluations")
+            .add(static_cast<std::uint64_t>(res.evaluations));
+        reg.counter("/solver/iterations")
+            .add(static_cast<std::uint64_t>(res.best.rootIterations));
+        if (_opts.warmStart.sameBudget)
+            reg.counter("/solver/warm_hits").add();
+        reg.gauge("/solver/classes")
+            .setMax(static_cast<double>(solver.numClasses()));
+    }
 
     // Remember this epoch's solution as the next epoch's warm start.
     _opts.warmStart.valid = true;

@@ -462,9 +462,56 @@ ExperimentRunner::step()
                                     _simCfg.epochLength);
     }
 
+    publishTelemetry(rec);
+
     ++_epoch;
     _epochLog.push_back(rec);
     return rec;
+}
+
+void
+ExperimentRunner::publishTelemetry(const EpochRecord &rec)
+{
+    if (!telemetry::enabled())
+        return;
+    telemetry::Registry &reg = telemetry::Registry::global();
+    if (_coreFreqGauges.empty()) {
+        const std::string prefix =
+            "/machine/" + std::to_string(_cfg.machineIndex);
+        _coreFreqGauges.reserve(rec.coreFreqIdx.size());
+        for (std::size_t i = 0; i < rec.coreFreqIdx.size(); ++i)
+            _coreFreqGauges.push_back(&reg.gauge(
+                prefix + "/core/" + std::to_string(i) + "/freq"));
+        _powerGauge = &reg.gauge(prefix + "/power");
+        _epochsCounter = &reg.counter(prefix + "/epochs");
+        if (_traceReplayer)
+            _pendingGauge = &reg.gauge(prefix + "/trace/pending");
+    }
+    for (std::size_t i = 0; i < rec.coreFreqIdx.size(); ++i)
+        _coreFreqGauges[i]->set(
+            _simCfg.coreLadder.at(rec.coreFreqIdx[i]));
+    _powerGauge->set(rec.totalPower);
+    _epochsCounter->add();
+    if (_pendingGauge)
+        _pendingGauge->set(static_cast<double>(rec.tracePending));
+
+    if (_cfg.tracer != nullptr) {
+        telemetry::TraceTrack &track = _cfg.tracer->track(
+            _cfg.machineIndex + 1,
+            "machine " + std::to_string(_cfg.machineIndex));
+        // All timestamps are virtual seconds: a rerun of the same
+        // configuration reproduces the trace byte for byte.
+        const double t0 = rec.startTime;
+        const double t1 = rec.startTime + rec.duration;
+        const double t_solve =
+            std::min(t0 + _simCfg.profileWindow, t1);
+        track.span("profile", t0, t_solve);
+        track.instant("solve", t_solve);
+        if (t1 > t_solve)
+            track.span("exec", t_solve, t1);
+        track.counterEvent("power_w", t0, rec.totalPower);
+        track.counterEvent("budget_w", t0, rec.budget);
+    }
 }
 
 ExperimentResult

@@ -29,6 +29,8 @@
 #include "scenario/scenario.hpp"
 #include "sim/engine/backend.hpp"
 #include "sim/system.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
 #include "trace/trace_replay.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -87,6 +89,20 @@ struct ExperimentConfig
      * byte-identical for every value.
      */
     int shardThreads = 0;
+    /**
+     * Optional epoch tracer. When set (and telemetry is enabled),
+     * step() emits profile/exec spans, a solve instant and power
+     * counter events on track `machineIndex + 1` (pid 0 is reserved
+     * for the cluster arbiter track), timestamped in virtual seconds.
+     * Observe-only: results are byte-identical with or without it.
+     */
+    telemetry::Tracer *tracer = nullptr;
+    /**
+     * Machine index prefixing this run's metric paths
+     * (/machine/<m>/...) and selecting its tracer track. Single
+     * machines use 0; the cluster sets one index per member.
+     */
+    int machineIndex = 0;
 };
 
 /** Per-epoch record for time-series figures. */
@@ -240,6 +256,14 @@ class ExperimentRunner
                            const std::vector<double> &instr_after);
     /** Budget schedule + due workload events at an epoch boundary. */
     void applyScenario(Seconds now);
+    /**
+     * Push the finished epoch into the metrics registry and the
+     * tracer, if any. Gated on telemetry::enabled(); a disabled run
+     * pays one branch. Each machine index writes only its own
+     * /machine/<m>/... paths, so plain Gauge::set stays single-writer
+     * even when a cluster steps machines on pool threads.
+     */
+    void publishTelemetry(const EpochRecord &rec);
 
     SimConfig _simCfg;
     std::unique_ptr<SimBackend> _system;
@@ -256,6 +280,15 @@ class ExperimentRunner
     std::unique_ptr<TraceReplayer> _traceReplayer;
     /** Cumulative shed count at the previous epoch boundary. */
     std::size_t _lastDropped = 0;
+    /**
+     * Lazily-resolved metric slots (stable: the registry never moves
+     * a metric once created). Avoids per-epoch path building and
+     * registry locking on the telemetry-enabled hot path.
+     */
+    std::vector<telemetry::Gauge *> _coreFreqGauges;
+    telemetry::Gauge *_powerGauge = nullptr;
+    telemetry::Gauge *_pendingGauge = nullptr;
+    telemetry::Counter *_epochsCounter = nullptr;
     int _epoch = 0;
     std::vector<AppResult> _apps;
     std::vector<EpochRecord> _epochLog;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/core.hpp"
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -343,6 +344,20 @@ ShardedSystem::runWindow(Seconds duration)
     energy += _cfg.backgroundPower * duration;
     stats.totalEnergy = energy;
 
+    // Observe-only: window count plus per-shard cumulative event
+    // counts, published on the merge thread after the barrier so
+    // each gauge has one writer per window.
+    if (telemetry::enabled()) {
+        telemetry::Registry &reg = telemetry::Registry::global();
+        reg.counter("/engine/windows").add();
+        for (std::size_t s = 0; s < _shards.size(); ++s) {
+            reg.gauge("/engine/shard/" + std::to_string(s) +
+                      "/events")
+                .set(static_cast<double>(
+                    _shards[s].queue.processed()));
+        }
+    }
+
     // Demand-driven bandwidth re-division at the barrier: the merged
     // window's per-lane access counts decide next window's shares.
     redivideBandwidth();
@@ -352,6 +367,10 @@ ShardedSystem::runWindow(Seconds duration)
 void
 ShardedSystem::redivideBandwidth()
 {
+    if (telemetry::enabled())
+        telemetry::Registry::global()
+            .counter("/engine/lane_merges")
+            .add();
     const int n = _cfg.numCores;
     const int k_ctrl = _cfg.numControllers;
     std::vector<double> demand;

@@ -1,0 +1,314 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fastcap {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/** `/seg/seg` with non-empty segments; rejects "", "/", "a/b". */
+bool
+validPath(const std::string &path)
+{
+    if (path.size() < 2 || path[0] != '/')
+        return false;
+    bool prev_slash = false;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        const bool slash = path[i] == '/';
+        if (slash && (prev_slash || i + 1 == path.size()))
+            return false;
+        prev_slash = slash;
+    }
+    return true;
+}
+
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    checkedSnprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Gauge::setMax(double v)
+{
+    if (!enabled())
+        return;
+    mergeMax(v);
+}
+
+void
+Gauge::mergeMax(double v)
+{
+    double cur = _value.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !_value.compare_exchange_weak(cur, v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Histogram(std::vector<double> edges)
+    : _edges(std::move(edges))
+{
+    if (_edges.empty())
+        panic("telemetry: histogram needs at least one bucket edge");
+    if (!std::is_sorted(_edges.begin(), _edges.end()))
+        panic("telemetry: histogram edges must be ascending");
+    _counts.reset(new std::atomic<std::uint64_t>[_edges.size() + 1]);
+    for (std::size_t i = 0; i <= _edges.size(); ++i)
+        _counts[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double v)
+{
+    if (!enabled())
+        return;
+    const auto it =
+        std::lower_bound(_edges.begin(), _edges.end(), v);
+    const std::size_t idx =
+        static_cast<std::size_t>(it - _edges.begin());
+    _counts[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= _edges.size(); ++i)
+        total += _counts[i].load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<std::uint64_t>
+Histogram::buckets() const
+{
+    std::vector<std::uint64_t> out(_edges.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = _counts[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= _edges.size(); ++i)
+        _counts[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::mergeBuckets(const std::vector<std::uint64_t> &buckets)
+{
+    if (buckets.size() != _edges.size() + 1)
+        panic("telemetry: histogram merge with mismatched buckets");
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        _counts[i].fetch_add(buckets[i], std::memory_order_relaxed);
+}
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Registry::Metric &
+Registry::slot(const std::string &path)
+{
+    if (!validPath(path))
+        panic("telemetry: malformed metric path '%s'", path.c_str());
+    return _metrics[path];
+}
+
+Counter &
+Registry::counter(const std::string &path)
+{
+    LockGuard lock(_mu);
+    Metric &m = slot(path);
+    if (m.gauge || m.histogram)
+        panic("telemetry: '%s' already registered with another kind",
+              path.c_str());
+    if (!m.counter)
+        m.counter.reset(new Counter());
+    return *m.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &path)
+{
+    LockGuard lock(_mu);
+    Metric &m = slot(path);
+    if (m.counter || m.histogram)
+        panic("telemetry: '%s' already registered with another kind",
+              path.c_str());
+    if (!m.gauge)
+        m.gauge.reset(new Gauge());
+    return *m.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &path, std::vector<double> edges)
+{
+    LockGuard lock(_mu);
+    Metric &m = slot(path);
+    if (m.counter || m.gauge)
+        panic("telemetry: '%s' already registered with another kind",
+              path.c_str());
+    if (!m.histogram) {
+        m.histogram.reset(new Histogram(std::move(edges)));
+    } else if (m.histogram->edges() != edges) {
+        panic("telemetry: '%s' re-registered with different edges",
+              path.c_str());
+    }
+    return *m.histogram;
+}
+
+void
+Registry::mergeFrom(const Registry &other)
+{
+    // Render the other side to plain values first so the two lock
+    // scopes never nest (self-merge and lock-order both stay safe).
+    struct Entry
+    {
+        std::string path;
+        std::uint64_t counter = 0;
+        double gauge = 0.0;
+        std::vector<double> edges;
+        std::vector<std::uint64_t> buckets;
+        int kind = 0; // 0 counter, 1 gauge, 2 histogram
+    };
+    std::vector<Entry> entries;
+    {
+        LockGuard lock(other._mu);
+        for (const auto &kv : other._metrics) {
+            Entry e;
+            e.path = kv.first;
+            if (kv.second.counter) {
+                e.kind = 0;
+                e.counter = kv.second.counter->value();
+            } else if (kv.second.gauge) {
+                e.kind = 1;
+                e.gauge = kv.second.gauge->value();
+            } else if (kv.second.histogram) {
+                e.kind = 2;
+                e.edges = kv.second.histogram->edges();
+                e.buckets = kv.second.histogram->buckets();
+            } else {
+                continue;
+            }
+            entries.push_back(std::move(e));
+        }
+    }
+    for (const Entry &e : entries) {
+        switch (e.kind) {
+          case 0:
+            counter(e.path).mergeAdd(e.counter);
+            break;
+          case 1:
+            gauge(e.path).mergeMax(e.gauge);
+            break;
+          default:
+            histogram(e.path, e.edges).mergeBuckets(e.buckets);
+            break;
+        }
+    }
+}
+
+std::vector<std::pair<std::string, std::string>>
+Registry::snapshot() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    LockGuard lock(_mu);
+    out.reserve(_metrics.size());
+    for (const auto &kv : _metrics) {
+        const Metric &m = kv.second;
+        std::string value;
+        if (m.counter) {
+            char buf[32];
+            checkedSnprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(
+                              m.counter->value()));
+            value = buf;
+        } else if (m.gauge) {
+            value = renderDouble(m.gauge->value());
+        } else if (m.histogram) {
+            const auto &edges = m.histogram->edges();
+            const auto buckets = m.histogram->buckets();
+            value = "count=";
+            char buf[64];
+            checkedSnprintf(buf, sizeof(buf), "%llu",
+                          static_cast<unsigned long long>(
+                              m.histogram->count()));
+            value += buf;
+            for (std::size_t i = 0; i < buckets.size(); ++i) {
+                checkedSnprintf(
+                    buf, sizeof(buf), " le:%s=%llu",
+                    i < edges.size() ? renderDouble(edges[i]).c_str()
+                                     : "inf",
+                    static_cast<unsigned long long>(buckets[i]));
+                value += buf;
+            }
+        } else {
+            continue;
+        }
+        out.emplace_back(kv.first, std::move(value));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Registry::query(const std::string &path) const
+{
+    std::string prefix = path;
+    while (!prefix.empty() && prefix.back() == '/')
+        prefix.pop_back();
+    std::vector<std::pair<std::string, std::string>> out;
+    for (auto &kv : snapshot()) {
+        if (prefix.empty() || kv.first == prefix ||
+            (kv.first.size() > prefix.size() &&
+             kv.first.compare(0, prefix.size(), prefix) == 0 &&
+             kv.first[prefix.size()] == '/')) {
+            out.push_back(std::move(kv));
+        }
+    }
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    LockGuard lock(_mu);
+    for (auto &kv : _metrics) {
+        if (kv.second.counter)
+            kv.second.counter->reset();
+        else if (kv.second.gauge)
+            kv.second.gauge->reset();
+        else if (kv.second.histogram)
+            kv.second.histogram->reset();
+    }
+}
+
+} // namespace telemetry
+} // namespace fastcap

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Deterministic metrics registry: the observe-only telemetry core.
+ *
+ * Result-bearing code *writes* counters, gauges, and histograms
+ * under slash-separated paths (`/solver/solves`,
+ * `/machine/3/core/17/freq`); operator-facing surfaces — the CLI
+ * `--introspect` dump, the future `--serve` daemon — *read* them
+ * back as a sorted path tree, 9front-devproc style. The hard
+ * contract is that telemetry can never flow back into results:
+ *
+ *  - every write method drops the update when telemetry is disabled
+ *    (the default), so an un-instrumented and an instrumented run
+ *    execute the same result-affecting code;
+ *  - reading a metric from a result zone is a lint finding (R8,
+ *    `src/telemetry` is a sink zone) — only `enabled()` and the
+ *    write surface are callable from result-bearing code;
+ *  - cross-thread writes to one shared path must commute: counter
+ *    adds and gauge setMax() are order-free, so totals are exact
+ *    and deterministic under any interleaving. Plain Gauge::set()
+ *    is reserved for single-writer paths (per-machine state written
+ *    by that machine's runner between pool barriers).
+ *
+ * Handles returned by counter()/gauge()/histogram() are stable for
+ * the registry's lifetime (metrics are never erased); hot paths
+ * cache them instead of re-resolving the path each epoch.
+ */
+
+#ifndef FASTCAP_TELEMETRY_REGISTRY_HPP
+#define FASTCAP_TELEMETRY_REGISTRY_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace fastcap {
+namespace telemetry {
+
+/** Process-wide telemetry switch; off by default. */
+bool enabled();
+
+/** Flip the process-wide switch (CLI `--telemetry`, benches). */
+void setEnabled(bool on);
+
+/**
+ * Monotonic event count. add() commutes, so concurrent writers on
+ * one path still produce an exact, deterministic total.
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        if (enabled())
+            _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _value.store(0, std::memory_order_relaxed); }
+
+    /** Registry-merge add: bypasses the enabled() gate. */
+    void
+    mergeAdd(std::uint64_t n)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/**
+ * Last-known scalar. set() is a plain store for single-writer paths;
+ * setMax() is a CAS high-water mark that commutes across threads.
+ */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        if (enabled())
+            _value.store(v, std::memory_order_relaxed);
+    }
+
+    void setMax(double v);
+
+    double
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _value.store(0.0, std::memory_order_relaxed); }
+
+    /** Registry-merge max: bypasses the enabled() gate. */
+    void mergeMax(double v);
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/**
+ * Fixed-bucket distribution. Bucket edges are upper bounds in
+ * ascending order; values above the last edge land in an implicit
+ * overflow bucket. Only integer bucket counts are kept (no float
+ * sum), so concurrent observes commute exactly.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double v);
+
+    std::uint64_t count() const;
+    const std::vector<double> &edges() const { return _edges; }
+    /** Bucket counts; size edges().size() + 1 (last = overflow). */
+    std::vector<std::uint64_t> buckets() const;
+
+    void reset();
+
+    /** Registry-merge bucket sum: bypasses the enabled() gate. */
+    void mergeBuckets(const std::vector<std::uint64_t> &buckets);
+
+  private:
+    std::vector<double> _edges;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> _counts;
+};
+
+/**
+ * A path-keyed tree of metrics. Registration is locked; the handles
+ * it returns are lock-free to write through. Paths are
+ * `/seg/seg/...` with non-empty segments. The sorted map doubles as
+ * the introspection tree: snapshot()/query() render values in path
+ * order, so two identical runs dump identical trees.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** The process-wide registry the CLIs expose. */
+    static Registry &global();
+
+    /** Find-or-create; panics if the path exists with another kind. */
+    Counter &counter(const std::string &path);
+    Gauge &gauge(const std::string &path);
+    /**
+     * Find-or-create; `edges` must match any previous registration
+     * of the same path (ascending, non-empty).
+     */
+    Histogram &histogram(const std::string &path,
+                         std::vector<double> edges);
+
+    /**
+     * Fold another registry's metrics into this one, in the other's
+     * path order: counters and histogram buckets sum, gauges take
+     * the max. Folding any permutation of registries yields the
+     * same result — the fixed-order merge contract per-shard and
+     * per-machine instances rely on.
+     */
+    void mergeFrom(const Registry &other);
+
+    /** All (path, rendered value) pairs in path order. */
+    std::vector<std::pair<std::string, std::string>> snapshot() const;
+
+    /**
+     * The subtree at `path`: the exact path plus everything under
+     * `path` + "/". "/" (or "") selects the whole tree.
+     */
+    std::vector<std::pair<std::string, std::string>>
+    query(const std::string &path) const;
+
+    /** Zero every registered metric (tests, benches). */
+    void resetAll();
+
+  private:
+    struct Metric
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Metric &slot(const std::string &path) FASTCAP_REQUIRES(_mu);
+
+    mutable Mutex _mu;
+    std::map<std::string, Metric> _metrics FASTCAP_GUARDED_BY(_mu);
+};
+
+} // namespace telemetry
+} // namespace fastcap
+
+#endif // FASTCAP_TELEMETRY_REGISTRY_HPP

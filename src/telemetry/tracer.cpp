@@ -1,0 +1,164 @@
+#include "telemetry/tracer.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace fastcap {
+namespace telemetry {
+
+namespace {
+
+/** Microsecond timestamps with fixed sub-µs precision: the same
+ *  virtual time always renders to the same bytes. */
+std::string
+renderUs(double us)
+{
+    char buf[64];
+    checkedSnprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                checkedSnprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+TraceTrack::span(const std::string &name, double t0_s, double t1_s,
+                 std::string args_json)
+{
+    if (t1_s < t0_s)
+        panic("tracer: span '%s' ends before it starts",
+              name.c_str());
+    _events.push_back(Event{'X', name, t0_s * 1e6,
+                            (t1_s - t0_s) * 1e6,
+                            std::move(args_json), 0.0});
+}
+
+void
+TraceTrack::instant(const std::string &name, double t_s,
+                    std::string args_json)
+{
+    _events.push_back(
+        Event{'i', name, t_s * 1e6, 0.0, std::move(args_json), 0.0});
+}
+
+void
+TraceTrack::counterEvent(const std::string &name, double t_s,
+                         double value)
+{
+    _events.push_back(
+        Event{'C', name, t_s * 1e6, 0.0, std::string(), value});
+}
+
+TraceTrack &
+Tracer::track(int pid, const std::string &name)
+{
+    LockGuard lock(_mu);
+    auto &slot = _tracks[pid];
+    if (!slot) {
+        slot.reset(new TraceTrack(pid));
+        _names[pid] = name;
+    }
+    return *slot;
+}
+
+std::string
+Tracer::json() const
+{
+    // Called once the run is over: no track is being appended to,
+    // so only the track map itself needs the lock.
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    LockGuard lock(_mu);
+    for (const auto &kv : _tracks) {
+        const int pid = kv.first;
+        const TraceTrack &track = *kv.second;
+        const auto name_it = _names.find(pid);
+        char head[128];
+        checkedSnprintf(head, sizeof(head),
+                      "%s{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                      "\"name\":\"process_name\",\"args\":{\"name\":",
+                      first ? "" : ",\n", pid);
+        out += head;
+        out += jsonString(name_it == _names.end() ? std::string()
+                                                  : name_it->second);
+        out += "}}";
+        first = false;
+        for (const auto &ev : track._events) {
+            char buf[160];
+            checkedSnprintf(buf, sizeof(buf),
+                          ",\n{\"ph\":\"%c\",\"pid\":%d,\"tid\":0,"
+                          "\"name\":",
+                          ev.ph, pid);
+            out += buf;
+            out += jsonString(ev.name);
+            out += ",\"ts\":";
+            out += renderUs(ev.ts_us);
+            if (ev.ph == 'X') {
+                out += ",\"dur\":";
+                out += renderUs(ev.dur_us);
+            }
+            if (ev.ph == 'i')
+                out += ",\"s\":\"t\"";
+            if (ev.ph == 'C') {
+                char vbuf[64];
+                checkedSnprintf(vbuf, sizeof(vbuf),
+                              ",\"args\":{\"value\":%.9g}", ev.value);
+                out += vbuf;
+            } else if (!ev.args.empty()) {
+                out += ",\"args\":";
+                out += ev.args;
+            }
+            out += '}';
+        }
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    const std::string doc = json();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("tracer: cannot open '%s' for writing", path.c_str());
+    const std::size_t written =
+        std::fwrite(doc.data(), 1, doc.size(), f);
+    const int rc = std::fclose(f);
+    if (written != doc.size() || rc != 0)
+        fatal("tracer: short write to '%s'", path.c_str());
+}
+
+} // namespace telemetry
+} // namespace fastcap

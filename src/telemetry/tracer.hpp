@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Epoch tracer: Chrome trace_event JSON keyed to *virtual* sim time.
+ *
+ * Instrumented code appends duration spans ("X"), instants ("i"),
+ * and counter samples ("C") to per-track buffers; writeJson() emits
+ * the standard `{"traceEvents":[...]}` object a trace viewer loads
+ * directly. Timestamps are virtual seconds converted to the format's
+ * microseconds — never wall clock — so the same run configuration
+ * produces byte-identical trace files on every rerun, at any thread
+ * count.
+ *
+ * Track discipline: one track (one `pid` in the viewer) per logical
+ * owner — pid 0 for the cluster arbiter, pid m+1 for machine m. A
+ * track is appended to by exactly one logical thread at a time (a
+ * machine's epochs are serialized by the pool barrier even when
+ * different workers run them), so appends need no lock; only track
+ * creation is locked. Events are emitted in append order, tracks in
+ * pid order.
+ *
+ * Like the registry, the tracer is observe-only: result code holds a
+ * nullable `Tracer *` and writes spans through it; nothing reads a
+ * trace back into the simulation (lint R8 enforces the direction).
+ */
+
+#ifndef FASTCAP_TELEMETRY_TRACER_HPP
+#define FASTCAP_TELEMETRY_TRACER_HPP
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace fastcap {
+namespace telemetry {
+
+/** One pid's append-only event buffer; create via Tracer::track(). */
+class TraceTrack
+{
+  public:
+    /** Duration event [t0_s, t1_s] (virtual seconds). */
+    void span(const std::string &name, double t0_s, double t1_s,
+              std::string args_json = "");
+
+    /** Instantaneous event at t_s. */
+    void instant(const std::string &name, double t_s,
+                 std::string args_json = "");
+
+    /** Counter sample: `name` tracks `value` over time. */
+    void counterEvent(const std::string &name, double t_s,
+                      double value);
+
+    std::size_t events() const { return _events.size(); }
+
+  private:
+    friend class Tracer;
+    explicit TraceTrack(int pid) : _pid(pid) {}
+
+    struct Event
+    {
+        char ph;
+        std::string name;
+        double ts_us;
+        double dur_us;       // "X" only
+        std::string args;    // preformatted JSON object or ""
+        double value;        // "C" only
+    };
+
+    int _pid;
+    std::vector<Event> _events;
+};
+
+/** A set of tracks plus the JSON writer. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Find-or-create the track for `pid`, naming its process row on
+     * first creation. Stable pointer for the tracer's lifetime.
+     */
+    TraceTrack &track(int pid, const std::string &name);
+
+    /** The full trace_event JSON document. */
+    std::string json() const;
+
+    /** json() to a file; throws FatalError on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    mutable Mutex _mu;
+    std::map<int, std::unique_ptr<TraceTrack>> _tracks
+        FASTCAP_GUARDED_BY(_mu);
+    std::map<int, std::string> _names FASTCAP_GUARDED_BY(_mu);
+};
+
+/** JSON-escape + quote a string for args payloads. */
+std::string jsonString(const std::string &s);
+
+} // namespace telemetry
+} // namespace fastcap
+
+#endif // FASTCAP_TELEMETRY_TRACER_HPP

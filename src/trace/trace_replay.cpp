@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 #include "workload/spec_table.hpp"
 
@@ -93,6 +94,10 @@ TraceReplayer::admit(Seconds t, const SwapFn &swap)
         // Load shedding keeps replay memory bounded by the machine,
         // not the trace: overload is recorded, not accumulated.
         ++_stats.dropped;
+        if (telemetry::enabled())
+            telemetry::Registry::global()
+                .counter("/trace/shed")
+                .add();
     } else {
         _backlogCores += _next.cores;
         _pending.push_back(std::move(_next));
@@ -129,6 +134,12 @@ TraceReplayer::drainPending(Seconds t, const SwapFn &swap)
         }
         _running.push(std::move(job));
         ++_stats.placed;
+        if (telemetry::enabled()) {
+            telemetry::Registry &reg = telemetry::Registry::global();
+            reg.counter("/trace/placed").add();
+            reg.gauge("/trace/pending_hwm")
+                .setMax(static_cast<double>(_pending.size()));
+        }
         _stats.peakRunning = std::max(
             _stats.peakRunning,
             static_cast<std::size_t>(_numCores) - _freeCores.size());

@@ -3,9 +3,24 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/registry.hpp"
 #include "util/logging.hpp"
+#include "util/wallclock.hpp"
 
 namespace fastcap {
+
+namespace {
+
+/** Shared log-spaced µs edges for the pool latency histograms. */
+const std::vector<double> &
+latencyEdgesUs()
+{
+    static const std::vector<double> edges{1.0,   10.0,  100.0, 1e3,
+                                           1e4,   1e5,   1e6};
+    return edges;
+}
+
+} // namespace
 
 std::size_t
 ThreadPool::hardwareWorkers()
@@ -38,12 +53,23 @@ ThreadPool::submit(Job job)
 {
     if (!job)
         panic("ThreadPool::submit: empty job");
+    double now_s = 0.0;
+    if (telemetry::enabled()) {
+        // fastcap-lint: wall-clock(pool wait-time telemetry stamp, operator-facing metrics only, never serialized into results)
+        now_s = wallSeconds();
+    }
+    std::size_t depth = 0;
     {
         LockGuard lock(_mu);
         if (_stopping)
             panic("ThreadPool::submit: pool is shutting down");
-        _jobs.push_back(std::move(job));
+        _jobs.push_back(Task{std::move(job), now_s});
+        depth = _jobs.size();
     }
+    if (telemetry::enabled())
+        telemetry::Registry::global()
+            .gauge("/pool/queue_depth_hwm")
+            .setMax(static_cast<double>(depth));
     _wake.notify_one();
 }
 
@@ -72,12 +98,21 @@ ThreadPool::workerLoop() FASTCAP_NO_THREAD_SAFETY_ANALYSIS
                    [this] { return _stopping || !_jobs.empty(); });
         if (_jobs.empty()) // stopping and drained
             return;
-        Job job = std::move(_jobs.front());
+        Task task = std::move(_jobs.front());
         _jobs.pop_front();
         ++_active;
         lock.unlock();
+        double run_t0 = 0.0;
+        if (telemetry::enabled()) {
+            // fastcap-lint: wall-clock(pool latency telemetry, operator-facing metrics only, never serialized into results)
+            run_t0 = wallSeconds();
+            if (task.enqueued_s > 0.0)
+                telemetry::Registry::global()
+                    .histogram("/pool/wait_us", latencyEdgesUs())
+                    .observe((run_t0 - task.enqueued_s) * 1e6);
+        }
         try {
-            job();
+            task.job();
         } catch (...) {
             lock.lock();
             if (!_firstError)
@@ -86,6 +121,14 @@ ThreadPool::workerLoop() FASTCAP_NO_THREAD_SAFETY_ANALYSIS
             if (_jobs.empty() && _active == 0)
                 _idle.notify_all();
             continue;
+        }
+        if (telemetry::enabled() && run_t0 > 0.0) {
+            // fastcap-lint: wall-clock(pool run-time telemetry, operator-facing metrics only, never serialized into results)
+            const double run_t1 = wallSeconds();
+            telemetry::Registry &reg = telemetry::Registry::global();
+            reg.histogram("/pool/run_us", latencyEdgesUs())
+                .observe((run_t1 - run_t0) * 1e6);
+            reg.counter("/pool/tasks").add();
         }
         lock.lock();
         --_active;

@@ -66,6 +66,17 @@ class ThreadPool
     static std::size_t hardwareWorkers();
 
   private:
+    /**
+     * Queue entry. `enqueued_s` is a wall-clock stamp taken only when
+     * telemetry is enabled (0 otherwise); it feeds the /pool/wait_us
+     * histogram and never influences scheduling.
+     */
+    struct Task
+    {
+        Job job;
+        double enqueued_s = 0.0;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> _workers;
@@ -75,7 +86,7 @@ class ThreadPool
     // returns, i.e. strictly after every shard job's effects are
     // published by the release/acquire pair on _mu).
     mutable Mutex _mu;
-    std::deque<Job> _jobs FASTCAP_GUARDED_BY(_mu);
+    std::deque<Task> _jobs FASTCAP_GUARDED_BY(_mu);
     // condition_variable_any: waits directly on the annotated Mutex.
     std::condition_variable_any _wake; //!< signals workers: job or stop
     std::condition_variable_any _idle; //!< signals wait(): batch done

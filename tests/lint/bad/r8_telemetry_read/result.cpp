@@ -1,0 +1,40 @@
+// fastcap-lint corpus (bad unit r8_telemetry_read): result-zone
+// code reading telemetry back. Writes through the registry are the
+// sanctioned direction; a metric value entering a result-zone
+// expression means instrumentation can change simulation results,
+// which the telemetry-on-vs-off byte-identity gate forbids.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/core/decide.cpp
+
+namespace fastcap {
+
+// Writing a counter is fine: observe-only in the write direction.
+void
+countSolve()
+{
+    telemetry::Counter &solves =
+        telemetry::Registry::global().counter("/solver/solves");
+    solves.add(1);
+}
+
+// Reading the counter back into a result-affecting decision is the
+// violation R8 exists for.
+double
+budgetFudge()
+{
+    telemetry::Counter &solves =
+        telemetry::Registry::global().counter("/solver/solves");
+    return 1.0 + 0.001 * solves.value(); // EXPECT: R8
+}
+
+// Gauge reads are no better.
+double
+lastFreq()
+{
+    telemetry::Gauge &freq =
+        telemetry::Registry::global().gauge("/machine/0/core/0/freq");
+    freq.set(2.0e9);
+    return freq.value(); // EXPECT: R8
+}
+
+} // namespace fastcap

@@ -1,0 +1,46 @@
+// fastcap-lint corpus (bad unit r8_telemetry_read): a miniature
+// telemetry zone. Defining read accessors here is legal — the sink
+// rule constrains *callers*: result-zone code may write metrics but
+// never read them back (R8 fires in result.cpp).
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/telemetry/registry.hpp
+
+namespace fastcap {
+namespace telemetry {
+
+inline bool
+enabled()
+{
+    return true;
+}
+
+class Counter
+{
+  public:
+    void add(unsigned long n) { _value += n; }
+    unsigned long value() const { return _value; }
+
+  private:
+    unsigned long _value = 0;
+};
+
+class Gauge
+{
+  public:
+    void set(double v) { _value = v; }
+    double value() const { return _value; }
+
+  private:
+    double _value = 0.0;
+};
+
+class Registry
+{
+  public:
+    static Registry &global();
+    Counter &counter(const char *path);
+    Gauge &gauge(const char *path);
+};
+
+} // namespace telemetry
+} // namespace fastcap

@@ -1,0 +1,34 @@
+// fastcap-lint corpus (good unit r8_telemetry_write): the same
+// miniature telemetry zone as the bad unit; see result-zone callers
+// in use.cpp for the sanctioned write-only patterns.
+// Not compiled; consumed by `fastcap_lint --self-test`.
+// fastcap-lint-zone: src/telemetry/registry.hpp
+
+namespace fastcap {
+namespace telemetry {
+
+inline bool
+enabled()
+{
+    return true;
+}
+
+class Counter
+{
+  public:
+    void add(unsigned long n) { _value += n; }
+    unsigned long value() const { return _value; }
+
+  private:
+    unsigned long _value = 0;
+};
+
+class Registry
+{
+  public:
+    static Registry &global();
+    Counter &counter(const char *path);
+};
+
+} // namespace telemetry
+} // namespace fastcap

@@ -1,0 +1,82 @@
+# Telemetry observe-only gate, process level: the sim and cluster
+# CLIs must print byte-identical result output with and without
+# --telemetry. Catches any instrumentation that leaks back into the
+# simulation — including reads the R8 lint heuristic cannot resolve
+# (chained temporaries).
+#
+# Expected -D variables:
+#   SIM      path to the fastcap_sim executable
+#   CLUSTER  path to the fastcap_cluster executable
+#   OUTDIR   scratch directory
+
+set(sim_common
+  --workload MIX1 --policy FastCap --cores 8 --budget 0.6
+  --instructions 2e6 --epoch-csv)
+
+foreach(mode off on)
+  if(mode STREQUAL "on")
+    set(extra --telemetry)
+  else()
+    set(extra)
+  endif()
+  execute_process(
+    COMMAND ${SIM} ${sim_common} ${extra}
+    RESULT_VARIABLE rc
+    OUTPUT_FILE ${OUTDIR}/telemetry_sim_${mode}.txt
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "fastcap_sim (telemetry ${mode}) failed (${rc}):\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUTDIR}/telemetry_sim_off.txt ${OUTDIR}/telemetry_sim_on.txt
+  RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR
+    "fastcap_sim output differs with --telemetry: the metrics layer "
+    "is perturbing results")
+endif()
+
+# Cluster: the telemetry-on side also steps machines in parallel, so
+# one comparison covers both the observe-only and the thread
+# determinism contract.
+set(cluster_common
+  --machines 3 --cores 8 --budget 0.5 --max-epochs 6
+  --fail "1@2:4"
+  --trace "gen:poisson,rate=150,horizon=0.1,seed=5")
+
+execute_process(
+  COMMAND ${CLUSTER} ${cluster_common} --machine-threads 1
+    --csv ${OUTDIR}/telemetry_cluster_off.csv
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "fastcap_cluster (telemetry off) failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CLUSTER} ${cluster_common} --machine-threads 4 --telemetry
+    --csv ${OUTDIR}/telemetry_cluster_on.csv
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "fastcap_cluster (telemetry on) failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${OUTDIR}/telemetry_cluster_off.csv
+    ${OUTDIR}/telemetry_cluster_on.csv
+  RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR
+    "fastcap_cluster CSV differs with --telemetry: the metrics layer "
+    "is perturbing rack results")
+endif()

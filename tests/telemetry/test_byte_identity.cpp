@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The observe-only contract, enforced end to end in-process: sweep
+ * and cluster result CSVs are byte-identical with telemetry enabled
+ * and disabled, at every shard / thread / machine-thread count. This
+ * is the library-level counterpart of the telemetry_cli_cmp gate.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "harness/sweep.hpp"
+#include "telemetry/registry.hpp"
+
+using namespace fastcap;
+
+namespace {
+
+std::string
+sweepCsv(bool telemetry_on, int shards, int shard_threads)
+{
+    telemetry::setEnabled(telemetry_on);
+    SweepGrid grid;
+    grid.configs = SweepGrid::configsForCores({16});
+    grid.workloads = {"MIX1"};
+    grid.policies = {"FastCap"};
+    grid.budgetFractions = {0.6};
+    grid.targetInstructions = 1e6;
+    grid.shards = shards;
+    grid.shardThreads = shard_threads;
+    SweepRunner runner(grid, 2);
+    const SweepResult res = runner.run();
+    telemetry::setEnabled(false);
+    return res.csvString();
+}
+
+std::string
+clusterCsv(bool telemetry_on, int machine_threads)
+{
+    telemetry::setEnabled(telemetry_on);
+    ClusterConfig cfg;
+    cfg.machines = 3;
+    cfg.machine = SimConfig::defaultConfig(8);
+    cfg.trace = "gen:poisson,rate=200,horizon=0.1,seed=9";
+    cfg.maxEpochs = 5;
+    cfg.machineThreads = machine_threads;
+    cfg.failures = {{1, 2, 4}};
+    Cluster cluster(cfg);
+    const ClusterResult res = cluster.run();
+    telemetry::setEnabled(false);
+    return res.csvString();
+}
+
+} // namespace
+
+TEST(TelemetryByteIdentity, SweepAcrossShardsAndThreads)
+{
+    // Every (telemetry, shards, threads) combination must emit the
+    // same bytes: telemetry is observe-only AND the engine is
+    // partition-independent, so one reference covers the whole grid.
+    const std::string reference = sweepCsv(false, 1, 1);
+    ASSERT_FALSE(reference.empty());
+    for (const int shards : {1, 16}) {
+        for (const int threads : {1, 8}) {
+            EXPECT_EQ(sweepCsv(false, shards, threads), reference)
+                << "telemetry off, shards " << shards << ", threads "
+                << threads;
+            EXPECT_EQ(sweepCsv(true, shards, threads), reference)
+                << "telemetry ON, shards " << shards << ", threads "
+                << threads;
+        }
+    }
+}
+
+TEST(TelemetryByteIdentity, ClusterAcrossMachineThreads)
+{
+    const std::string reference = clusterCsv(false, 1);
+    ASSERT_FALSE(reference.empty());
+    EXPECT_EQ(clusterCsv(true, 1), reference);
+    EXPECT_EQ(clusterCsv(true, 4), reference);
+    EXPECT_EQ(clusterCsv(false, 4), reference);
+}

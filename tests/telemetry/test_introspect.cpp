@@ -1,0 +1,98 @@
+/**
+ * @file
+ * /proc-style introspection: after an instrumented run, the global
+ * registry answers the paths the ISSUE's acceptance criteria name —
+ * per-core frequency, arbiter grants, solver class counts.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "harness/experiment.hpp"
+#include "telemetry/registry.hpp"
+
+using namespace fastcap;
+using telemetry::Registry;
+
+namespace {
+
+/** Run a small single-machine experiment against the global registry. */
+void
+runInstrumentedSim()
+{
+    telemetry::setEnabled(true);
+    ExperimentConfig ecfg;
+    ecfg.budgetFraction = 0.6;
+    ecfg.targetInstructions = 5e6;
+    // Force the sharded engine so /engine/* instrumentation fires
+    // (8 cores would otherwise auto-select the monolithic engine).
+    ecfg.shards = 2;
+    ecfg.shardThreads = 2;
+    const SimConfig scfg = SimConfig::defaultConfig(8);
+    runWorkload("MIX1", "FastCap", ecfg, scfg);
+    telemetry::setEnabled(false);
+}
+
+void
+runInstrumentedCluster()
+{
+    telemetry::setEnabled(true);
+    ClusterConfig cfg;
+    cfg.machines = 2;
+    cfg.machine = SimConfig::defaultConfig(8);
+    cfg.maxEpochs = 3;
+    Cluster cluster(cfg);
+    cluster.run();
+    telemetry::setEnabled(false);
+}
+
+} // namespace
+
+TEST(Introspect, SolverAndMachinePaths)
+{
+    Registry::global().resetAll();
+    runInstrumentedSim();
+    Registry &reg = Registry::global();
+
+    // Solver subtree: non-empty, with a positive solve count.
+    const auto solver = reg.query("/solver");
+    EXPECT_FALSE(solver.empty());
+    const auto solves = reg.query("/solver/solves");
+    ASSERT_EQ(solves.size(), 1u);
+    EXPECT_GT(std::strtoull(solves[0].second.c_str(), nullptr, 10),
+              0u);
+    ASSERT_EQ(reg.query("/solver/classes").size(), 1u);
+
+    // Per-core frequency gauges exist and carry a plausible value.
+    const auto freq = reg.query("/machine/0/core/0/freq");
+    ASSERT_EQ(freq.size(), 1u);
+    EXPECT_GT(std::strtod(freq[0].second.c_str(), nullptr), 0.0);
+    const auto cores = reg.query("/machine/0/core");
+    EXPECT_EQ(cores.size(), 8u);
+
+    // Engine and pool instrumentation fired.
+    EXPECT_FALSE(reg.query("/engine/windows").empty());
+}
+
+TEST(Introspect, ClusterArbiterPaths)
+{
+    Registry::global().resetAll();
+    runInstrumentedCluster();
+    Registry &reg = Registry::global();
+
+    const auto grants = reg.query("/cluster/arbiter/grants");
+    ASSERT_EQ(grants.size(), 1u);
+    // 2 machines x 3 epochs = 6 grants.
+    EXPECT_EQ(grants[0].second, "6");
+    const auto rounds = reg.query("/cluster/arbiter/rounds");
+    ASSERT_EQ(rounds.size(), 1u);
+    EXPECT_EQ(rounds[0].second, "3");
+    EXPECT_EQ(reg.query("/cluster/arbiter/grant").size(), 2u);
+
+    // Both machines instrumented their own subtree.
+    EXPECT_FALSE(reg.query("/machine/0").empty());
+    EXPECT_FALSE(reg.query("/machine/1").empty());
+}

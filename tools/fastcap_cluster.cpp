@@ -110,10 +110,32 @@ main(int argc, char **argv)
     args.addInt("seed", 0, "base seed (0 = default)");
     args.addString("csv", "",
                    "write the per-epoch rack CSV here ('-' = stdout)");
+    args.addFlag("telemetry",
+                 "enable the metrics registry (observe-only: result "
+                 "output is byte-identical either way)");
+    args.addString("trace-out", "",
+                   "write a Chrome trace_event JSON of the rack run "
+                   "here (implies --telemetry)");
+    args.addString("introspect", "",
+                   "after the run, print metrics under this path, "
+                   "e.g. /cluster/arbiter ('/' = everything; implies "
+                   "--telemetry)");
+    args.addString("log-level", "",
+                   "log spec LEVEL[,module=LEVEL]... with levels "
+                   "silent|warn|inform|debug");
     if (!args.parse(argc, argv))
         return 1;
 
     try {
+        if (!args.getString("log-level").empty())
+            Logger::global().configure(args.getString("log-level"));
+        const std::string trace_out = args.getString("trace-out");
+        const std::string introspect = args.getString("introspect");
+        telemetry::setEnabled(args.getFlag("telemetry") ||
+                              !trace_out.empty() ||
+                              !introspect.empty());
+        telemetry::Tracer tracer;
+
         ClusterConfig cfg;
         cfg.machines = static_cast<int>(args.getInt("machines"));
         cfg.machine = SimConfig::defaultConfig(
@@ -136,6 +158,8 @@ main(int argc, char **argv)
         if (args.getInt("seed") != 0)
             cfg.seed =
                 static_cast<std::uint64_t>(args.getInt("seed"));
+        if (!trace_out.empty())
+            cfg.tracer = &tracer;
 
         Cluster cluster(cfg);
         const ClusterResult res = cluster.run();
@@ -169,6 +193,15 @@ main(int argc, char **argv)
                 inform("wrote %s", csv.c_str());
             }
         }
+
+        if (!trace_out.empty())
+            tracer.writeJson(trace_out);
+        if (!introspect.empty())
+            for (const auto &kv :
+                 telemetry::Registry::global().query(
+                     introspect == "/" ? "" : introspect))
+                std::printf("%s %s\n", kv.first.c_str(),
+                            kv.second.c_str());
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fastcap_cluster: %s\n", e.what());

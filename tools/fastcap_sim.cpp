@@ -68,10 +68,32 @@ main(int argc, char **argv)
     args.addFlag("epoch-csv", "print per-epoch CSV rows");
     args.addFlag("compare", "also run the uncapped baseline and "
                             "report normalized CPI");
+    args.addFlag("telemetry",
+                 "enable the metrics registry (observe-only: result "
+                 "output is byte-identical either way)");
+    args.addString("trace-out", "",
+                   "write a Chrome trace_event JSON of the run here "
+                   "(implies --telemetry)");
+    args.addString("introspect", "",
+                   "after the run, print metrics under this path, "
+                   "e.g. /solver or /machine/0/core/0/freq "
+                   "('/' = everything; implies --telemetry)");
+    args.addString("log-level", "",
+                   "log spec LEVEL[,module=LEVEL]... with levels "
+                   "silent|warn|inform|debug");
     if (!args.parse(argc, argv))
         return 1;
 
     try {
+        if (!args.getString("log-level").empty())
+            Logger::global().configure(args.getString("log-level"));
+        const std::string trace_out = args.getString("trace-out");
+        const std::string introspect = args.getString("introspect");
+        telemetry::setEnabled(args.getFlag("telemetry") ||
+                              !trace_out.empty() ||
+                              !introspect.empty());
+        telemetry::Tracer tracer;
+
         SimConfig scfg = SimConfig::defaultConfig(
             static_cast<int>(args.getInt("cores")));
         scfg.epochLength = args.getDouble("epoch-ms") * 1e-3;
@@ -105,6 +127,8 @@ main(int argc, char **argv)
         // The flag wins over any trace= field inside --scenario.
         if (!args.getString("trace").empty())
             ecfg.scenario.trace = args.getString("trace");
+        if (!trace_out.empty())
+            ecfg.tracer = &tracer;
 
         const std::string workload = args.getString("workload");
         const std::string policy = args.getString("policy");
@@ -157,6 +181,15 @@ main(int argc, char **argv)
                           AsciiTable::num(cmp.perApp[i], 3)});
             t.print();
         }
+
+        if (!trace_out.empty())
+            tracer.writeJson(trace_out);
+        if (!introspect.empty())
+            for (const auto &kv :
+                 telemetry::Registry::global().query(
+                     introspect == "/" ? "" : introspect))
+                std::printf("%s %s\n", kv.first.c_str(),
+                            kv.second.c_str());
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "fastcap_sim: %s\n", e.what());

@@ -44,6 +44,7 @@
 #include "harness/sweep.hpp"
 #include "policies/registry.hpp"
 #include "scenario/scenario.hpp"
+#include "telemetry/registry.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -217,10 +218,25 @@ main(int argc, char **argv)
     args.addString("csv", "", "write run CSV to this file "
                               "(default: stdout)");
     args.addString("json", "", "also write run JSON to this file");
+    args.addFlag("telemetry",
+                 "enable the metrics registry (observe-only: CSV/JSON "
+                 "output is byte-identical either way)");
+    args.addString("log-level", "",
+                   "log spec LEVEL[,module=LEVEL]... with levels "
+                   "silent|warn|inform|debug (default inform, so the "
+                   "run summary stays visible)");
     if (!args.parse(argc, argv))
         return 1;
 
     try {
+        // The sweep's one-line run summary has always been printed
+        // unconditionally; defaulting to inform keeps it visible now
+        // that it routes through the logger.
+        if (args.getString("log-level").empty())
+            Logger::global().level(LogLevel::Inform);
+        else
+            Logger::global().configure(args.getString("log-level"));
+        telemetry::setEnabled(args.getFlag("telemetry"));
         std::map<std::string, std::string> spec;
         if (!args.getString("spec").empty())
             spec = readSpecFile(args.getString("spec"));
@@ -328,15 +344,16 @@ main(int argc, char **argv)
                            static_cast<int>(args.getInt("threads")));
         const SweepResult result = runner.run();
 
-        std::fprintf(stderr,
-                     "fastcap_sweep: %zu runs on %d threads in %.2f s "
-                     "(%.2f runs/s)\n",
-                     result.runs.size(), result.threads,
-                     result.wallSeconds,
-                     result.wallSeconds > 0.0
-                         ? static_cast<double>(result.runs.size()) /
-                               result.wallSeconds
-                         : 0.0);
+        logkv(LogLevel::Inform, "sweep", "done",
+              {{"runs",
+                static_cast<long long>(result.runs.size())},
+               {"threads", result.threads},
+               {"wall_s", result.wallSeconds},
+               {"runs_per_s",
+                result.wallSeconds > 0.0
+                    ? static_cast<double>(result.runs.size()) /
+                          result.wallSeconds
+                    : 0.0}});
 
         if (args.getString("csv").empty()) {
             result.writeCsv(stdout);

@@ -4,7 +4,8 @@ Analysis order per invocation:
 
   1. per-file rules R1–R5 (+ W0) over every target file;
   2. symbol index + call graph over the same token streams;
-  3. R6 determinism taint and R7 lock-order over the index;
+  3. R6 determinism taint, R7 lock-order, and R8 telemetry-sink
+     over the index;
   4. W1 stale-waiver harvest — only in whole-tree and self-test
      modes, where the file set is complete; linting an explicit file
      list must not call a waiver stale just because its matching
@@ -16,7 +17,7 @@ import os
 import re
 import sys
 
-from . import locks, taint
+from . import locks, sink, taint
 from .filerules import FileLinter
 from .findings import RULES, sort_key
 from .index import SymbolIndex
@@ -49,9 +50,11 @@ def analyze(targets, cache, enable_w1):
     index.build(entries)
     findings.extend(taint.run(index, waiver_map, zone_map))
     findings.extend(locks.run(index, waiver_map))
+    findings.extend(sink.run(index, waiver_map, zone_map))
     if enable_w1:
         for rel, ws in sorted(waiver_map.items()):
-            if zone_map[rel] in ("result", "src", "util"):
+            if zone_map[rel] in ("result", "src", "util",
+                                 "telemetry"):
                 findings.extend(stale_waiver_findings(ws))
     findings.sort(key=sort_key)
     return findings
@@ -143,7 +146,7 @@ def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="fastcap_lint",
         description="FastCap determinism & concurrency lint "
-                    "(rules R1-R7, W0/W1).")
+                    "(rules R1-R8, W0/W1).")
     ap.add_argument("files", nargs="*",
                     help="files to lint (default: src/ tree)")
     ap.add_argument("--root", default=None,

@@ -84,6 +84,8 @@ def zone_of(relpath):
         return "tools"
     if p.startswith("src/util/"):
         return "util"
+    if p.startswith("src/telemetry/"):
+        return "telemetry"
     for d in RESULT_DIRS:
         if p.startswith(d + "/"):
             return "result"
@@ -305,7 +307,7 @@ class FileLinter:
                 applies = self.zone == "result"
                 tags = frozenset(("order-insensitive",))
             else:
-                applies = self.zone in ("result", "src")
+                applies = self.zone in ("result", "src", "telemetry")
                 tags = frozenset(("entropy", "wall-clock"))
             if applies and self.waivers.find(fact.span, tags):
                 fact.active = False
@@ -321,7 +323,8 @@ class FileLinter:
             self.add(tok, "R5",
                      "include of %s; use FASTCAP_ASSERT from "
                      "util/logging.hpp" % header)
-        if self.zone in ("result", "src") and header in ("random",):
+        if (self.zone in ("result", "src", "telemetry") and
+                header in ("random",)):
             self.add(tok, "R2",
                      "include of <random>; draw from util/rng "
                      "SplitMix64 streams instead")
@@ -476,7 +479,7 @@ class FileLinter:
         if prev is not None and prev.text in (".", "->", "::"):
             return False
         span = statement_span(toks, i)
-        emit = self.zone in ("result", "src")
+        emit = self.zone in ("result", "src", "telemetry")
         # Qualified names match as prefixes so member accesses like
         # std::chrono::steady_clock::now are caught at the head.
         for banned, kind in BANNED_QUALIFIED.items():

@@ -19,6 +19,9 @@ RULES = {
     "R7": ("lock-order",
            "lock acquisition order forms a cycle (potential "
            "deadlock)"),
+    "R8": ("telemetry-sink",
+           "telemetry value read back into result-affecting code "
+           "(src/telemetry is write-only from result zones)"),
     "W0": (None, "malformed fastcap-lint waiver"),
     "W1": (None, "stale fastcap-lint waiver (suppresses nothing)"),
 }
@@ -34,6 +37,7 @@ WAIVER_TAGS = {
     "float-ok": "R4",
     "raw-assert": "R5",
     "lock-order": "R7",
+    "telemetry-sink": "R8",
 }
 
 WAIVER_TAGS_BY_RULE = {}

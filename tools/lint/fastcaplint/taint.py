@@ -41,7 +41,7 @@ _KIND_PRIORITY = ("wall-clock", "entropy", "order")
 
 def _edge_waived(call, caller, kind, waiver_map, zone_map, mark):
     zone = zone_map.get(caller.relpath)
-    if zone not in ("result", "src", "util"):
+    if zone not in ("result", "src", "util", "telemetry"):
         return False
     ws = waiver_map.get(caller.relpath)
     if ws is None:
